@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark writes its paper-style table to ``benchmarks/out/`` (so
+EXPERIMENTS.md can reference exact runs) and echoes it to stdout.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def report_writer(capsys):
+    """Returns write(name, text): persist + echo a benchmark report."""
+
+    def write(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return write

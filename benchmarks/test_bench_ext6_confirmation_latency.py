@@ -1,0 +1,58 @@
+"""Ext-6 — tangle confirmation latency vs traffic level.
+
+The DAG's counterpart to six-block security is cumulative weight: a
+transaction is settled once enough later transactions (in)directly
+approve it.  Unlike a chain — where confirmation latency is fixed at
+k·block-interval no matter the load — the tangle confirms *faster the
+busier it is*: every new arrival buries its ancestors deeper.  That is
+the property that makes the design fit the paper's "high concurrency"
+IoT setting (challenge 3 in §I).
+
+This bench grows tangles at increasing device counts and measures the
+mean time for a transaction to reach cumulative weight 6.
+"""
+
+from repro.analysis.metrics import format_table
+from repro.analysis.workloads import confirmation_times, grow_parallel_tangle
+
+CONFIRMATION_WEIGHT = 6
+TX_PER_DEVICE = 15
+DIFFICULTY = 8
+
+
+def _grow_and_measure(device_count: int, seed: int):
+    """Grow a parallel tangle and return (mean confirmation latency,
+    achieved arrival rate)."""
+    growth = grow_parallel_tangle(
+        device_count=device_count, tx_per_device=TX_PER_DEVICE,
+        difficulty=DIFFICULTY, seed=seed,
+    )
+    latencies = confirmation_times(growth, threshold=CONFIRMATION_WEIGHT)
+    mean_latency = sum(latencies) / len(latencies)
+    return mean_latency, growth.throughput
+
+
+def _sweep():
+    rows = []
+    for device_count in (2, 4, 8):
+        latency, rate = _grow_and_measure(device_count, seed=device_count)
+        rows.append((device_count, rate, latency))
+    return rows
+
+
+def test_bench_ext6_confirmation_latency(benchmark, report_writer):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    formatted = [
+        (devices, f"{rate:.2f}", f"{latency:.2f}")
+        for devices, rate, latency in rows
+    ]
+    report_writer("ext6_confirmation_latency", format_table(
+        formatted, headers=[
+            "devices", "arrival rate (tx/s)",
+            f"mean time to weight {CONFIRMATION_WEIGHT} (s)",
+        ]))
+    latencies = [latency for _, _, latency in rows]
+    rates = [rate for _, rate, _ in rows]
+    # More traffic -> faster burial: latency decreases as rate grows.
+    assert rates == sorted(rates)
+    assert latencies[-1] < latencies[0]

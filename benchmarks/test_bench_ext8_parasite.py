@@ -1,0 +1,57 @@
+"""Ext-8 — the parasite "broom" release vs tip-selection policy.
+
+Quantifies the threat model's strongest lazy-tips escalation ("inflate
+the number of tips ... abandoning the tips belonging to honest nodes"):
+a burst of transactions all approving a fixed anchor pair is released
+into the tip pool, and we measure what share of subsequent honest
+approvals the attacker captures under each selector, across parasite
+sizes.
+"""
+
+from repro.analysis.metrics import format_table
+from repro.attacks.parasite import simulate_parasite_release
+from repro.tangle.tip_selection import (
+    UniformRandomTipSelector,
+    WeightedRandomWalkSelector,
+)
+
+
+def _sweep():
+    selectors = [
+        ("uniform", lambda: UniformRandomTipSelector()),
+        ("mcmc a=0.1", lambda: WeightedRandomWalkSelector(alpha=0.1)),
+        ("mcmc a=1.0", lambda: WeightedRandomWalkSelector(alpha=1.0)),
+    ]
+    rows = []
+    for parasite_size in (20, 40, 80):
+        for name, make_selector in selectors:
+            outcome = simulate_parasite_release(
+                selector=make_selector(),
+                parasite_size=parasite_size,
+                seed=13,
+            )
+            rows.append((parasite_size, name, outcome.capture_ratio))
+    return rows
+
+
+def test_bench_ext8_parasite_release(benchmark, report_writer):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    formatted = [
+        (size, name, f"{ratio * 100:.1f} %")
+        for size, name, ratio in rows
+    ]
+    report_writer("ext8_parasite", format_table(formatted, headers=[
+        "parasite size", "selector", "honest approvals captured",
+    ]))
+
+    by_key = {(size, name): ratio for size, name, ratio in rows}
+    for size in (20, 40, 80):
+        uniform = by_key[(size, "uniform")]
+        strong = by_key[(size, "mcmc a=1.0")]
+        # The broom wins big under uniform selection...
+        assert uniform > 0.15
+        # ...and is starved by the weighted walk.
+        assert strong < uniform / 3
+        assert strong < 0.05
+    # Under uniform selection, a bigger broom captures more.
+    assert by_key[(80, "uniform")] >= by_key[(20, "uniform")]

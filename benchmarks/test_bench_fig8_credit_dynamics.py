@@ -1,0 +1,80 @@
+"""Fig. 8 — Credit value changes based on nodes' behaviours.
+
+Paper setup: one light node traced for 100 s with λ1=1, λ2=0.5,
+ΔT=30 s, αl=0.5, αd=1.  Fig. 8(a): one malicious attack at t=24 s —
+credit plunges sharply, then the punished PoW keeps the node silent for
+~37 s before normal submission resumes.  Fig. 8(b): two attacks take
+longer to recover from.
+
+Reproduction: the same scripted trace; we print the Cr/CrP/CrN series
+on the paper's grid and the headline observations (minimum credit,
+longest transaction gap, recovery time).
+"""
+
+from repro.analysis.figures import fig8_credit_trace
+from repro.analysis.metrics import format_table
+
+
+def _series_rows(result, step=6):
+    rows = []
+    for point in result.tracer.points[::step]:
+        rows.append((
+            f"{point.time:.0f}",
+            f"{point.credit:.2f}",
+            f"{point.positive:.2f}",
+            f"{point.negative:.2f}",
+        ))
+    return rows
+
+
+def test_bench_fig8a_single_attack(benchmark, report_writer):
+    result = benchmark.pedantic(
+        fig8_credit_trace, kwargs={"attack_times": (24.0,)},
+        rounds=1, iterations=1,
+    )
+    table = format_table(_series_rows(result),
+                         headers=["t (s)", "Cr", "CrP", "CrN"])
+    summary = (
+        f"attack at t=24 s\n"
+        f"minimum credit: {result.minimum_credit:.1f} "
+        f"(paper curve dips to ~-27)\n"
+        f"longest transaction gap: {result.longest_transaction_gap:.1f} s "
+        f"(paper: 37 s)\n"
+        f"transactions completed: {len(result.transaction_times)}"
+    )
+    report_writer("fig8a_credit_single_attack", table + "\n\n" + summary)
+
+    # Shape: clean before the attack, sharp dip at it, recovery after.
+    before = [p.credit for p in result.tracer.points if p.time < 24.0]
+    assert all(credit >= 0 for credit in before)
+    assert result.minimum_credit < -15.0
+    final = result.tracer.points[-1].credit
+    assert final > result.minimum_credit / 10
+    # The punished PoW silences the node for tens of seconds (paper: 37 s).
+    assert 20.0 < result.longest_transaction_gap < 80.0
+
+
+def test_bench_fig8b_two_attacks(benchmark, report_writer):
+    result = benchmark.pedantic(
+        fig8_credit_trace, kwargs={"attack_times": (24.0, 60.0)},
+        rounds=1, iterations=1,
+    )
+    table = format_table(_series_rows(result),
+                         headers=["t (s)", "Cr", "CrP", "CrN"])
+    summary = (
+        f"attacks at t=24 s and t=60 s\n"
+        f"minimum credit: {result.minimum_credit:.1f}\n"
+        f"longest transaction gap: {result.longest_transaction_gap:.1f} s\n"
+        f"transactions completed: {len(result.transaction_times)}"
+    )
+    report_writer("fig8b_credit_two_attacks", table + "\n\n" + summary)
+
+    single = fig8_credit_trace(attack_times=(24.0,))
+    # Two attacks leave the node worse off than one (paper: "it will
+    # take longer time to recover normal transaction rate").
+    assert result.minimum_credit <= single.minimum_credit
+    assert (len(result.transaction_times)
+            <= len(single.transaction_times))
+    final_two = result.tracer.points[-1].credit
+    final_one = single.tracer.points[-1].credit
+    assert final_two <= final_one + 1e-9

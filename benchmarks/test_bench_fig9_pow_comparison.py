@@ -1,0 +1,51 @@
+"""Fig. 9 — Performance evaluation in credit-based PoW mechanism.
+
+Paper setup: four control experiments over 90 s (3ΔT), initial
+difficulty 11, reporting the average PoW time per transaction:
+
+    original PoW                     0.7 s
+    credit-based, normal behaviour   0.118 s
+    credit-based, one attack         1.667 s
+    credit-based, two attacks        3.75 s
+
+Reproduction: the same four regimes on the calibrated Raspberry Pi
+profile; attacks at t=24 s (and t=60 s for the fourth regime, matching
+Fig. 8(b)'s dips).
+"""
+
+from repro.analysis.figures import fig9_pow_comparison
+from repro.analysis.metrics import format_table
+
+
+def test_bench_fig9_four_regimes(benchmark, report_writer):
+    regimes = benchmark.pedantic(fig9_pow_comparison, rounds=1, iterations=1)
+    by_name = {regime.name: regime for regime in regimes}
+
+    rows = [
+        (
+            regime.name,
+            f"{regime.mean_pow_seconds:.3f}",
+            f"{regime.paper_seconds:.3f}",
+            regime.transactions,
+        )
+        for regime in regimes
+    ]
+    report_writer("fig9_pow_comparison", format_table(rows, headers=[
+        "regime", "mean PoW (s)", "paper (s)", "transactions",
+    ]))
+
+    original = by_name["original-pow"].mean_pow_seconds
+    normal = by_name["credit-normal"].mean_pow_seconds
+    one_attack = by_name["credit-1-attack"].mean_pow_seconds
+    two_attacks = by_name["credit-2-attacks"].mean_pow_seconds
+
+    # The paper's ordering: normal < original < 1 attack < 2 attacks.
+    assert normal < original < one_attack < two_attacks
+    # And roughly the paper's factors: honest speedup ~6x, attacks
+    # several times the original cost.
+    assert original / normal > 3.0
+    assert one_attack > 1.5 * original
+    assert two_attacks > 1.5 * one_attack
+    # Punished nodes also complete fewer transactions in the window.
+    assert (by_name["credit-2-attacks"].transactions
+            < by_name["credit-normal"].transactions)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Cross-factory secure data sharing (Section IV-A.4).
+
+"If factories need to configure their machines operating parameters for
+processing a certain kind of parts, they do not need to debug machines
+independently.  They can request solutions of the same parts from other
+factories which have configured them through B-IoT."
+
+Two factories share one public tangle.  Factory A posts its machine
+operating parameters encrypted under its group key.  Factory B can see
+the (tamper-proof, traceable) transactions but not read them — until
+factory A's manager runs the Fig. 4 key-distribution handshake with
+factory B's manager, after which B decrypts the recipes directly from
+its own replica.
+
+Run:  python examples/secure_data_sharing.py
+"""
+
+from repro.core.authority import (
+    DataProtector,
+    DeviceKeyAgent,
+    ManagerKeyDistributor,
+)
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto.keys import KeyPair
+from repro.devices.sensors import MachineStatusSensor
+
+
+def main():
+    # Factory A: the one that already knows how to machine the part.
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=4, gateway_count=2, seed=7,
+        initial_difficulty=6, report_interval=2.0,
+        sensor_cycle=("machine-status", "temperature"),
+    ))
+    system.initialize()
+    system.start_devices()
+    system.run_for(60.0)
+    print("factory A has been running for 60 s")
+
+    gateway = system.gateways[0]
+    recipes = [tx for tx in gateway.tangle
+               if tx.kind == "data" and DataProtector.is_encrypted(tx.payload)]
+    print(f"machine-parameter transactions on the public tangle: "
+          f"{len(recipes)} (all encrypted)")
+
+    # Factory B sees the data exists but cannot read it.
+    factory_b_reader = DataProtector()
+    try:
+        factory_b_reader.unprotect(recipes[0].payload)
+    except KeyError:
+        print("factory B (no key): cannot decrypt the recipes - "
+              "confidentiality holds on the transparent ledger")
+
+    # Factory A's manager shares the group key with factory B's manager
+    # over the same three-message protocol used for devices (Fig. 4):
+    # B's manager is just another identity with a (PK, SK) pair.
+    factory_b_manager = KeyPair.generate(seed=b"factory-b-manager")
+    distributor: ManagerKeyDistributor = system.manager.distributor
+    agent = DeviceKeyAgent(factory_b_manager, system.manager.acl.manager)
+    now = system.scheduler.clock.now()
+    session, m1 = distributor.initiate(factory_b_manager.public, now=now)
+    m2 = agent.handle_m1(m1, now=now + 0.1)
+    m3 = distributor.handle_m2(session, m2, now=now + 0.2)
+    group = agent.handle_m3(m3, now=now + 0.3)
+    print(f"\ncross-factory key distribution complete (group {group!r})")
+
+    # Factory B now reads the recipes straight off the ledger.
+    factory_b_reader.install_key(group, agent.key_for(group))
+    decoded = [factory_b_reader.unprotect(tx.payload) for tx in recipes]
+    codes = [int(r.value) for r in decoded if r.sensor_type == "machine-status"]
+    print(f"factory B decrypted {len(decoded)} recipe transactions; "
+          f"operating codes observed: {sorted(set(codes))}")
+
+    # The data is trustworthy because it is signed and tamper-proof:
+    # every recipe transaction verifies against its issuer's key.
+    assert all(tx.verify_signature() and tx.verify_pow() for tx in recipes)
+    print("every shared transaction verifies (signature + PoW): "
+          "trust across factories without a third party")
+
+    # Revocation story: rotate the group key; factory B must re-request.
+    distributor.rotate_group_key(group)
+    print("\nfactory A rotated the group key - future recipes use the new "
+          "key, factory B's access to new data is revoked until re-granted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Credit-trace recording — the machinery behind Fig. 8.
+
+Fig. 8 plots four curves against time for one node: transaction weights
+``w`` (as bars), the credit ``Cr`` and its components ``CrP``/``CrN``.
+:class:`CreditTracer` samples a :class:`~repro.core.credit.
+CreditRegistry` on a fixed grid and exposes the same four series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.credit import CreditRegistry
+
+__all__ = ["CreditTracePoint", "CreditTracer"]
+
+
+@dataclass(frozen=True)
+class CreditTracePoint:
+    """One sample of the Fig. 8 curves."""
+
+    time: float
+    credit: float
+    positive: float
+    negative: float
+
+
+@dataclass
+class CreditTracer:
+    """Samples one node's credit over time.
+
+    Args:
+        registry: the registry being traced.
+        node_id: whose credit to sample.
+    """
+
+    registry: CreditRegistry
+    node_id: bytes
+    points: List[CreditTracePoint] = field(default_factory=list)
+    events: List[Tuple[float, str, float]] = field(default_factory=list)
+
+    def sample(self, now: float) -> CreditTracePoint:
+        """Record one sample at time *now*."""
+        breakdown = self.registry.breakdown(self.node_id, now)
+        point = CreditTracePoint(
+            time=now,
+            credit=breakdown.credit,
+            positive=breakdown.positive,
+            negative=breakdown.negative,
+        )
+        self.points.append(point)
+        return point
+
+    def sample_range(self, start: float, end: float, step: float) -> None:
+        """Sample on a uniform grid [start, end] inclusive."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        t = start
+        while t <= end + 1e-9:
+            self.sample(t)
+            t += step
+
+    def mark_event(self, time: float, label: str, value: float = 0.0) -> None:
+        """Annotate the trace (transaction weights / attack markers —
+        the bars of Fig. 8)."""
+        self.events.append((time, label, value))
+
+    # -- series accessors (what the bench prints) -------------------------
+
+    def credit_series(self) -> List[Tuple[float, float]]:
+        return [(p.time, p.credit) for p in self.points]
+
+    def positive_series(self) -> List[Tuple[float, float]]:
+        return [(p.time, p.positive) for p in self.points]
+
+    def negative_series(self) -> List[Tuple[float, float]]:
+        return [(p.time, p.negative) for p in self.points]
+
+    def minimum_credit(self) -> Optional[float]:
+        if not self.points:
+            return None
+        return min(p.credit for p in self.points)
+
+    def recovery_time(self, *, after: float, threshold: float) -> Optional[float]:
+        """Seconds from *after* until credit first returns above
+        *threshold* (Fig. 8's "takes 37 seconds to recover" metric)."""
+        for point in self.points:
+            if point.time >= after and point.credit >= threshold:
+                return point.time - after
+        return None

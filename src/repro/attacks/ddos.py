@@ -1,0 +1,99 @@
+"""DDoS flooding against a gateway, and the architecture's defence.
+
+The paper's availability argument is architectural: because B-IoT is
+decentralised, flooding (or crashing) a single gateway cannot take the
+service down — devices fail over to another full node, and the
+replicated tangle keeps every copy of the data (Section VI-C, "single
+point of failure").
+
+:class:`DDoSAttacker` floods junk at a victim gateway.
+:func:`failover_devices` re-homes the victim's light nodes onto a
+surviving gateway, modelling the devices' "find closest gateway
+enabled RPC port" discovery step from Fig. 6.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..crypto.rand import randbytes
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..network.network import NetworkNode
+from ..network.transport import Message
+from ..nodes.light_node import LightNode
+
+__all__ = ["DDoSAttacker", "DDoSStats", "failover_devices"]
+
+
+@dataclass
+class DDoSStats:
+    """Flood volume accounting."""
+
+    messages_sent: int = 0
+    bursts: int = 0
+
+
+class DDoSAttacker(NetworkNode):
+    """Floods a victim with garbage messages at a fixed rate.
+
+    The junk uses unknown message kinds and malformed submissions, so a
+    victim burning cycles on them models request-queue pressure; the
+    experiments measure *system-level* service continuity rather than
+    per-box saturation.
+    """
+
+    def __init__(self, address: str, *, victim: str,
+                 burst_size: int = 50, burst_interval: float = 0.5,
+                 rng: Optional[random.Random] = None):
+        super().__init__(address)
+        if burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        self.victim = victim
+        self.burst_size = burst_size
+        self.burst_interval = burst_interval
+        self.rng = rng if rng is not None else random.Random()
+        self.stats = DDoSStats()
+        self._running = False
+
+    @property
+    def _scheduler(self):
+        return self.network.scheduler
+
+    def start(self, *, initial_delay: float = 0.0) -> None:
+        self._running = True
+        self._scheduler.schedule(initial_delay, self._burst)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _burst(self) -> None:
+        if not self._running:
+            return
+        for _ in range(self.burst_size):
+            self.stats.messages_sent += 1
+            junk = randbytes(self.rng.randrange(16, 128))
+            self.send(self.victim, "junk-flood", {"noise": junk},
+                      size_bytes=len(junk))
+        self.stats.bursts += 1
+        self._scheduler.schedule(self.burst_interval, self._burst)
+
+    def handle_message(self, message: Message) -> None:
+        pass  # the attacker ignores all replies
+
+
+def failover_devices(devices: List[LightNode], *, from_gateway: str,
+                     to_gateway: str) -> int:
+    """Re-home every device using *from_gateway* onto *to_gateway*.
+
+    Returns how many devices switched.  This is the recovery half of
+    the single-point-of-failure experiment: the service continues
+    because any full node can serve any authorised device.
+    """
+    switched = 0
+    for device in devices:
+        if device.gateway == from_gateway:
+            device.gateway = to_gateway
+            switched += 1
+    return switched

@@ -1,0 +1,133 @@
+"""Blocks for the chain-structured baseline.
+
+Section II-A describes the comparator this package implements: a
+satoshi-style blockchain where transactions are batched into blocks,
+each block references a single predecessor, and proof-of-work seals the
+header.  The B-IoT evaluation's throughput claims are made *against*
+this design, so the reproduction needs it as a real, working baseline
+(see ``benchmarks/test_bench_ext1_dag_vs_chain.py``).
+
+Blocks reuse :class:`~repro.tangle.transaction.Transaction` for their
+body entries (with zero parents — approvals are meaningless inside a
+block), so both ledgers carry identical signed workloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..crypto.hashing import DIGEST_SIZE, hash_concat, merkle_root
+from ..crypto.keys import KeyPair, PublicIdentity
+from ..pow import hashcash
+from ..tangle.transaction import Transaction
+
+__all__ = ["Block", "GENESIS_PREV_HASH"]
+
+GENESIS_PREV_HASH = b"\x00" * DIGEST_SIZE
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable, PoW-sealed block."""
+
+    prev_hash: bytes
+    height: int
+    timestamp: float
+    difficulty: int
+    miner: PublicIdentity
+    transactions: Tuple[Transaction, ...]
+    nonce: int
+
+    def __post_init__(self):
+        if len(self.prev_hash) != DIGEST_SIZE:
+            raise ValueError("prev_hash must be a 32-byte block hash")
+        if self.height < 0:
+            raise ValueError("height must be non-negative")
+        if self.difficulty < hashcash.MIN_DIFFICULTY:
+            raise ValueError("difficulty below minimum")
+
+    @property
+    def merkle_root(self) -> bytes:
+        return merkle_root([tx.to_bytes() for tx in self.transactions])
+
+    @property
+    def header_digest(self) -> bytes:
+        """Everything the PoW commits to, except the nonce."""
+        return hash_concat(
+            self.prev_hash,
+            struct.pack(">Q", self.height),
+            struct.pack(">d", self.timestamp),
+            struct.pack(">H", self.difficulty),
+            self.miner.to_bytes(),
+            self.merkle_root,
+        )
+
+    @property
+    def block_hash(self) -> bytes:
+        return hash_concat(self.header_digest, self.nonce.to_bytes(8, "big"))
+
+    @property
+    def short_hash(self) -> str:
+        return self.block_hash.hex()[:8]
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.prev_hash == GENESIS_PREV_HASH and self.height == 0
+
+    def verify_pow(self) -> bool:
+        """Check the nonce seals the header at the declared difficulty."""
+        return hashcash.verify(self.header_digest, self.nonce, self.difficulty)
+
+    @property
+    def work(self) -> int:
+        """Expected hashes represented by this block's PoW (2^D)."""
+        return 2 ** self.difficulty
+
+    @classmethod
+    def mine(cls, miner: KeyPair, *, prev_hash: bytes, height: int,
+             timestamp: float, difficulty: int,
+             transactions: Tuple[Transaction, ...] = (),
+             nonce: Optional[int] = None) -> "Block":
+        """Assemble a block; grind the PoW here unless *nonce* is given
+        (callers accounting for solve time use a
+        :class:`~repro.pow.engine.PowEngine` and pass the nonce in)."""
+        draft = cls(
+            prev_hash=prev_hash,
+            height=height,
+            timestamp=timestamp,
+            difficulty=difficulty,
+            miner=miner.public,
+            transactions=tuple(transactions),
+            nonce=0,
+        )
+        if nonce is None:
+            proof = hashcash.solve(draft.header_digest, difficulty)
+            nonce = proof.nonce
+        return cls(
+            prev_hash=draft.prev_hash,
+            height=draft.height,
+            timestamp=draft.timestamp,
+            difficulty=draft.difficulty,
+            miner=draft.miner,
+            transactions=draft.transactions,
+            nonce=int(nonce),
+        )
+
+    @classmethod
+    def mine_genesis(cls, miner: KeyPair, *, timestamp: float = 0.0,
+                     difficulty: int = hashcash.MIN_DIFFICULTY) -> "Block":
+        return cls.mine(
+            miner,
+            prev_hash=GENESIS_PREV_HASH,
+            height=0,
+            timestamp=timestamp,
+            difficulty=difficulty,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(h={self.height}, {self.short_hash}, "
+            f"txs={len(self.transactions)}, t={self.timestamp:.3f})"
+        )

@@ -1,0 +1,170 @@
+"""Chain-structured blockchain with longest-(heaviest-)chain consensus.
+
+"Chain-structured blockchain maintains the longest chain as the main
+chain in the system ... when two blocks are generated just a few
+seconds apart, forks will happen, and the latest block in the longest
+chain is always chosen, so other blocks in shorter chains are
+considered as invalid blocks" (Section II-A, Fig. 1).
+
+This class keeps *every* received block (a block tree), designates the
+branch with the greatest cumulative work as the main chain, and reports
+fork/orphan statistics — the quantities the DAG-vs-chain comparison
+(Ext-1) measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..tangle.errors import (
+    DuplicateTransactionError,
+    InvalidPowError,
+    TimestampError,
+    UnknownParentError,
+    ValidationError,
+)
+from .block import Block
+
+__all__ = ["Blockchain"]
+
+
+class Blockchain:
+    """A block tree with heaviest-chain fork choice.
+
+    Args:
+        genesis: the genesis block.
+        max_future_skew: reject blocks whose timestamp leads their
+            parent's by less than zero or exceeds sanity bounds.
+    """
+
+    def __init__(self, genesis: Block, *, max_future_skew: float = 60.0):
+        if not genesis.is_genesis:
+            raise ValueError("blockchain must be seeded with a genesis block")
+        if not genesis.verify_pow():
+            raise InvalidPowError("genesis block fails its own PoW")
+        self._blocks: Dict[bytes, Block] = {genesis.block_hash: genesis}
+        self._children: Dict[bytes, Set[bytes]] = {genesis.block_hash: set()}
+        self._cumulative_work: Dict[bytes, int] = {genesis.block_hash: genesis.work}
+        self._max_future_skew = max_future_skew
+        self.genesis = genesis
+        self._best_tip = genesis.block_hash
+        self.reorg_count = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_hash: bytes) -> bool:
+        return block_hash in self._blocks
+
+    def get(self, block_hash: bytes) -> Block:
+        return self._blocks[block_hash]
+
+    @property
+    def best_tip(self) -> Block:
+        """Head of the current main chain."""
+        return self._blocks[self._best_tip]
+
+    @property
+    def height(self) -> int:
+        """Height of the main chain head."""
+        return self.best_tip.height
+
+    def cumulative_work(self, block_hash: bytes) -> int:
+        return self._cumulative_work[block_hash]
+
+    def main_chain(self) -> List[Block]:
+        """Blocks from genesis to the best tip, in order."""
+        chain: List[Block] = []
+        current: Optional[Block] = self.best_tip
+        while current is not None:
+            chain.append(current)
+            if current.is_genesis:
+                break
+            current = self._blocks.get(current.prev_hash)
+        chain.reverse()
+        return chain
+
+    def is_on_main_chain(self, block_hash: bytes) -> bool:
+        block = self._blocks.get(block_hash)
+        if block is None:
+            return False
+        main = self.main_chain()
+        return block.height < len(main) and main[block.height].block_hash == block_hash
+
+    def confirmed_blocks(self, confirmations: int = 6) -> List[Block]:
+        """Main-chain blocks buried at least *confirmations* deep
+        (the paper's six-block-security reference, Section II-B)."""
+        main = self.main_chain()
+        if confirmations <= 0:
+            return main
+        cutoff = len(main) - confirmations
+        return main[:max(0, cutoff)]
+
+    def confirmed_transactions(self, confirmations: int = 6) -> Iterator:
+        """All transactions inside confirmed main-chain blocks."""
+        for block in self.confirmed_blocks(confirmations):
+            yield from block.transactions
+
+    def orphaned_blocks(self) -> List[Block]:
+        """Blocks not on the main chain — the gray squares of Fig. 1."""
+        main_hashes = {b.block_hash for b in self.main_chain()}
+        return [b for b in self._blocks.values() if b.block_hash not in main_hashes]
+
+    @property
+    def fork_count(self) -> int:
+        """Number of positions where more than one child extends a block."""
+        return sum(1 for kids in self._children.values() if len(kids) > 1)
+
+    # -- growth ----------------------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Validate and insert *block*; returns True if it became (part
+        of) the new main chain.
+
+        Raises :class:`~repro.tangle.errors.ValidationError` subclasses
+        on invalid blocks; valid blocks on losing forks are stored but
+        return False.
+        """
+        if block.block_hash in self._blocks:
+            raise DuplicateTransactionError(f"block {block.short_hash} already known")
+        if block.is_genesis:
+            raise ValidationError("a blockchain has exactly one genesis")
+        parent = self._blocks.get(block.prev_hash)
+        if parent is None:
+            raise UnknownParentError(
+                f"unknown parent {block.prev_hash.hex()[:8]} for {block.short_hash}"
+            )
+        if block.height != parent.height + 1:
+            raise ValidationError(
+                f"height {block.height} does not extend parent height {parent.height}"
+            )
+        if not block.verify_pow():
+            raise InvalidPowError(f"block {block.short_hash} fails PoW")
+        if block.timestamp < parent.timestamp:
+            raise TimestampError(
+                f"block {block.short_hash} predates its parent"
+            )
+        for tx in block.transactions:
+            if not tx.verify_signature():
+                raise ValidationError(
+                    f"block {block.short_hash} carries a badly signed transaction"
+                )
+
+        self._blocks[block.block_hash] = block
+        self._children[block.block_hash] = set()
+        self._children[block.prev_hash].add(block.block_hash)
+        self._cumulative_work[block.block_hash] = (
+            self._cumulative_work[block.prev_hash] + block.work
+        )
+
+        became_main = False
+        if self._cumulative_work[block.block_hash] > self._cumulative_work[self._best_tip]:
+            previous_tip = self._best_tip
+            self._best_tip = block.block_hash
+            became_main = True
+            # A reorg happened if the displaced tip is not our ancestor.
+            if previous_tip != block.prev_hash:
+                self.reorg_count += 1
+        return became_main

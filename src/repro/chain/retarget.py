@@ -1,0 +1,92 @@
+"""Difficulty retargeting for the chain baseline.
+
+Real chain-structured blockchains keep their block interval stable by
+retargeting difficulty against observed block times (Bitcoin's
+2016-block rule).  The DAG-vs-chain comparison needs this so the chain
+baseline stays fork-safe as hash power varies, rather than being tuned
+by hand per experiment.
+
+The rule: every ``window`` blocks, compare the observed mean block
+interval to the target and shift the difficulty by ``log2(target /
+observed)`` bits (work per bit doubles), clamped to ``max_step_bits``
+per retarget — the same dampening real deployments use to resist
+timestamp manipulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..pow import hashcash
+from .block import Block
+from .blockchain import Blockchain
+
+__all__ = ["retarget_difficulty", "RetargetingSchedule"]
+
+
+def retarget_difficulty(current_difficulty: int, *,
+                        observed_interval: float,
+                        target_interval: float,
+                        max_step_bits: int = 2,
+                        min_difficulty: int = hashcash.MIN_DIFFICULTY,
+                        max_difficulty: int = 32) -> int:
+    """One retarget step: shift difficulty toward the target interval.
+
+    Blocks arriving too fast (observed < target) raise the difficulty;
+    too slow lowers it.  The shift is rounded to whole bits and clamped
+    to ``max_step_bits`` per adjustment.
+    """
+    if observed_interval <= 0:
+        raise ValueError("observed_interval must be positive")
+    if target_interval <= 0:
+        raise ValueError("target_interval must be positive")
+    if max_step_bits < 1:
+        raise ValueError("max_step_bits must be >= 1")
+    shift = math.log2(target_interval / observed_interval)
+    step = int(round(max(-max_step_bits, min(max_step_bits, shift))))
+    return max(min_difficulty, min(max_difficulty, current_difficulty + step))
+
+
+class RetargetingSchedule:
+    """Tracks main-chain block times and produces the next difficulty.
+
+    Args:
+        target_interval: desired seconds between blocks.
+        window: how many most-recent intervals feed each adjustment.
+        max_step_bits: clamp per adjustment.
+    """
+
+    def __init__(self, *, target_interval: float, window: int = 8,
+                 max_step_bits: int = 2,
+                 max_difficulty: int = 32):
+        if target_interval <= 0:
+            raise ValueError("target_interval must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.target_interval = target_interval
+        self.window = window
+        self.max_step_bits = max_step_bits
+        self.max_difficulty = max_difficulty
+
+    def next_difficulty(self, chain: Blockchain) -> int:
+        """Difficulty the next block should use, from main-chain history."""
+        main: List[Block] = chain.main_chain()
+        current = main[-1].difficulty
+        if len(main) < 2:
+            return current
+        recent = main[-(self.window + 1):]
+        intervals = [
+            b.timestamp - a.timestamp for a, b in zip(recent, recent[1:])
+        ]
+        observed = sum(intervals) / len(intervals)
+        if observed <= 0:
+            # Degenerate timestamps (all blocks at once): max raise.
+            return min(self.max_difficulty, current + self.max_step_bits)
+        return retarget_difficulty(
+            current,
+            observed_interval=observed,
+            target_interval=self.target_interval,
+            max_step_bits=self.max_step_bits,
+            max_difficulty=self.max_difficulty,
+        )

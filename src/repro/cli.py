@@ -1,0 +1,195 @@
+"""Command-line interface: run the system and the paper's experiments.
+
+Usage::
+
+    python -m repro workflow --devices 6 --gateways 2 --seconds 60
+    python -m repro fig7
+    python -m repro fig8 --attacks 24 60
+    python -m repro fig9
+    python -m repro fig10 --max-exponent 18
+    python -m repro summary
+
+Each experiment subcommand prints the same series the matching
+benchmark writes to ``benchmarks/out/``; ``workflow`` runs the Fig. 6
+smart-factory workflow end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.figures import (
+    fig7_pow_running_time,
+    fig8_credit_trace,
+    fig9_pow_comparison,
+    fig10_aes_timing,
+)
+from .analysis.metrics import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="B-IoT (ICDCS 2019) reproduction — system and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    workflow = sub.add_parser(
+        "workflow", help="run the Fig. 6 smart-factory workflow")
+    workflow.add_argument("--devices", type=int, default=4)
+    workflow.add_argument("--gateways", type=int, default=2)
+    workflow.add_argument("--seconds", type=float, default=60.0,
+                          help="reporting phase duration (simulated)")
+    workflow.add_argument("--seed", type=int, default=42)
+    workflow.add_argument("--difficulty", type=int, default=8,
+                          help="initial PoW difficulty")
+
+    fig7 = sub.add_parser("fig7", help="PoW running time vs difficulty")
+    fig7.add_argument("--samples", type=int, default=5)
+    fig7.add_argument("--seed", type=int, default=7)
+
+    fig8 = sub.add_parser("fig8", help="credit trace under attack")
+    fig8.add_argument("--attacks", type=float, nargs="*", default=[24.0],
+                      help="attack times in seconds")
+    fig8.add_argument("--duration", type=float, default=100.0)
+
+    sub.add_parser("fig9", help="mean PoW per tx, four regimes")
+
+    fig10 = sub.add_parser("fig10", help="AES time vs message length")
+    fig10.add_argument("--max-exponent", type=int, default=20,
+                       help="largest message as a power of two")
+
+    summary = sub.add_parser(
+        "summary", help="build a system and print its summary")
+    summary.add_argument("--devices", type=int, default=4)
+    summary.add_argument("--gateways", type=int, default=2)
+    summary.add_argument("--seconds", type=float, default=30.0)
+    summary.add_argument("--seed", type=int, default=42)
+
+    report = sub.add_parser(
+        "report", help="run all figures and print the consolidated "
+                       "reproduction report (markdown)")
+    report.add_argument("--output", type=str, default=None,
+                        help="also write the report to this file")
+
+    return parser
+
+
+def _cmd_workflow(args) -> int:
+    from .core.biot import BIoTConfig, BIoTSystem
+    from .core.workflow import run_workflow
+
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=args.devices,
+        gateway_count=args.gateways,
+        seed=args.seed,
+        initial_difficulty=args.difficulty,
+    ))
+    report = run_workflow(system, report_seconds=args.seconds)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_fig7(args) -> int:
+    points = fig7_pow_running_time(samples_per_level=args.samples,
+                                   seed=args.seed)
+    rows = [
+        (p.difficulty, f"{p.expected_seconds:.3f}",
+         f"{p.sampled_seconds:.3f}",
+         f"{p.paper_seconds:.3f}" if p.paper_seconds is not None else "-")
+        for p in points
+    ]
+    print(format_table(rows, headers=[
+        "difficulty", "expected (s)", "sampled (s)", "paper (s)"]))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    result = fig8_credit_trace(attack_times=tuple(args.attacks),
+                               duration=args.duration)
+    rows = [
+        (f"{p.time:.1f}", f"{p.credit:.2f}", f"{p.positive:.2f}",
+         f"{p.negative:.2f}")
+        for p in result.tracer.points[::4]
+    ]
+    print(format_table(rows, headers=["t (s)", "Cr", "CrP", "CrN"]))
+    print(f"\nminimum credit: {result.minimum_credit:.1f}")
+    print(f"longest transaction gap: {result.longest_transaction_gap:.1f} s")
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    rows = [
+        (r.name, f"{r.mean_pow_seconds:.3f}", f"{r.paper_seconds:.3f}",
+         r.transactions)
+        for r in fig9_pow_comparison()
+    ]
+    print(format_table(rows, headers=[
+        "regime", "mean PoW (s)", "paper (s)", "transactions"]))
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    points = fig10_aes_timing(max_exponent=args.max_exponent)
+    rows = [
+        (p.message_bytes, f"{p.measured_seconds:.5f}",
+         f"{p.modelled_rpi_seconds:.5f}",
+         f"{p.paper_seconds:.5f}" if p.paper_seconds is not None else "-")
+        for p in points
+    ]
+    print(format_table(rows, headers=[
+        "bytes", "measured (s)", "RPi model (s)", "paper (s)"]))
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from .core.biot import BIoTConfig, BIoTSystem
+
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=args.devices,
+        gateway_count=args.gateways,
+        seed=args.seed,
+        initial_difficulty=8,
+    ))
+    system.initialize()
+    system.start_devices()
+    system.run_for(args.seconds)
+    for key, value in system.summary().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.reporting import generate_report
+
+    report = generate_report()
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    return 0 if "FAIL" not in report else 1
+
+
+_COMMANDS = {
+    "workflow": _cmd_workflow,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "summary": _cmd_summary,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

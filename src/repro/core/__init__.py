@@ -1,0 +1,86 @@
+"""The paper's primary contribution.
+
+* :mod:`~repro.core.credit` — the credit model (Eqns. 2–5);
+* :mod:`~repro.core.consensus` — credit-based PoW difficulty policies
+  and enforcement;
+* :mod:`~repro.core.acl` — manager-signed device authorisation (Eqn. 1);
+* :mod:`~repro.core.authority` — data authority management: the Fig. 4
+  key-distribution protocol and sensor-payload encryption;
+* :mod:`~repro.core.biot` — the system facade (Fig. 3 architecture);
+* :mod:`~repro.core.workflow` — the Fig. 6 workflow runner.
+"""
+
+from .acl import AclAction, AclPayload, AuthorizationList, GenesisConfig, Role
+from .authority import (
+    BadSignatureError,
+    DataProtector,
+    DeviceKeyAgent,
+    KeyDistributionError,
+    ManagerKeyDistributor,
+    ProtocolStateError,
+    ReplayError,
+    StaleTimestampError,
+    symmetric_decrypt,
+    symmetric_encrypt,
+)
+from .biot import BIoTConfig, BIoTSystem
+from .consensus import (
+    DEFAULT_INITIAL_DIFFICULTY,
+    DEFAULT_MAX_DIFFICULTY,
+    DEFAULT_MIN_DIFFICULTY,
+    CreditBasedConsensus,
+    DifficultyPolicy,
+    FixedDifficultyPolicy,
+    InverseDifficultyPolicy,
+    LinearDifficultyPolicy,
+)
+from .credit import (
+    CreditBreakdown,
+    CreditParameters,
+    CreditRegistry,
+    MaliciousBehaviour,
+)
+from .quality import (
+    BAD_DATA_BEHAVIOUR,
+    QualityVerdict,
+    ReadingQualityMonitor,
+)
+from .workflow import WorkflowReport, WorkflowStep, run_workflow
+
+__all__ = [
+    "CreditParameters",
+    "CreditRegistry",
+    "CreditBreakdown",
+    "MaliciousBehaviour",
+    "CreditBasedConsensus",
+    "DifficultyPolicy",
+    "FixedDifficultyPolicy",
+    "LinearDifficultyPolicy",
+    "InverseDifficultyPolicy",
+    "DEFAULT_INITIAL_DIFFICULTY",
+    "DEFAULT_MIN_DIFFICULTY",
+    "DEFAULT_MAX_DIFFICULTY",
+    "GenesisConfig",
+    "AclAction",
+    "AclPayload",
+    "AuthorizationList",
+    "Role",
+    "ManagerKeyDistributor",
+    "DeviceKeyAgent",
+    "DataProtector",
+    "KeyDistributionError",
+    "StaleTimestampError",
+    "ReplayError",
+    "BadSignatureError",
+    "ProtocolStateError",
+    "symmetric_encrypt",
+    "symmetric_decrypt",
+    "BIoTConfig",
+    "BIoTSystem",
+    "WorkflowReport",
+    "WorkflowStep",
+    "run_workflow",
+    "ReadingQualityMonitor",
+    "QualityVerdict",
+    "BAD_DATA_BEHAVIOUR",
+]

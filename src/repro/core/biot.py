@@ -1,0 +1,274 @@
+"""The B-IoT system facade: build and run a smart-factory deployment.
+
+Wires the whole architecture of Fig. 3 together — one manager, a set of
+gateway full nodes, and wireless-sensor light nodes — over the
+discrete-event network, with the credit-based consensus and data
+authority management active end to end.
+
+Typical use (see ``examples/smart_factory.py``)::
+
+    system = BIoTSystem.build(BIoTConfig(device_count=6, seed=7))
+    system.initialize()           # workflow steps 1-3
+    system.start_devices()        # steps 4-5, repeating
+    system.run_for(90.0)
+    print(system.summary())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..core.consensus import (
+    CreditBasedConsensus,
+    DEFAULT_INITIAL_DIFFICULTY,
+    DifficultyPolicy,
+    InverseDifficultyPolicy,
+)
+from ..core.credit import CreditParameters, CreditRegistry
+from ..crypto.keys import KeyPair
+from ..devices.sensors import SENSOR_TYPES, make_sensor
+from ..network.network import Network
+from ..network.simulator import EventScheduler
+from ..network.transport import BACKBONE_LINK, WIRELESS_SENSOR_LINK, LatencyModel
+from ..tangle.tip_selection import TipSelector, WeightedRandomWalkSelector
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..nodes.full_node import FullNode
+    from ..nodes.light_node import LightNode
+    from ..nodes.manager import ManagerNode
+
+__all__ = ["BIoTConfig", "BIoTSystem"]
+
+
+@dataclass(frozen=True)
+class BIoTConfig:
+    """Deployment parameters for a simulated smart factory.
+
+    Attributes:
+        gateway_count: full nodes besides the manager.
+        device_count: wireless sensors (light nodes).
+        sensor_cycle: sensor types assigned round-robin to devices.
+        report_interval: seconds between a device's submissions.
+        initial_difficulty: the PoW difficulty a neutral node gets.
+        credit_params: the Eqn. 2–5 parameters.
+        tip_alpha: weight bias of the gateways' MCMC tip selection
+            (None selects uniform-random tips, the paper's baseline).
+        seed: master seed; every stochastic component derives from it.
+        wireless_link / backbone_link: latency models.
+        enforce_pow: cryptographically verify PoW nonces at gateways.
+        token_allocation: initial token balance minted per device.
+    """
+
+    gateway_count: int = 2
+    device_count: int = 4
+    sensor_cycle: Tuple[str, ...] = (
+        "temperature", "power", "vibration", "machine-status", "humidity",
+    )
+    report_interval: float = 3.0
+    initial_difficulty: int = DEFAULT_INITIAL_DIFFICULTY
+    credit_params: CreditParameters = field(default_factory=CreditParameters)
+    tip_alpha: Optional[float] = None
+    seed: int = 42
+    wireless_link: LatencyModel = WIRELESS_SENSOR_LINK
+    backbone_link: LatencyModel = BACKBONE_LINK
+    enforce_pow: bool = True
+    token_allocation: int = 1000
+
+    def __post_init__(self):
+        if self.gateway_count < 1:
+            raise ValueError("need at least one gateway")
+        if self.device_count < 1:
+            raise ValueError("need at least one device")
+        for sensor_type in self.sensor_cycle:
+            if sensor_type not in SENSOR_TYPES:
+                raise ValueError(f"unknown sensor type {sensor_type!r}")
+
+
+class BIoTSystem:
+    """A fully wired smart-factory simulation."""
+
+    def __init__(self, *, config: BIoTConfig, scheduler: EventScheduler,
+                 network: Network, manager: ManagerNode,
+                 gateways: List[FullNode], devices: List[LightNode],
+                 device_keys: Dict[str, KeyPair],
+                 gateway_keys: Dict[str, KeyPair]):
+        self.config = config
+        self.scheduler = scheduler
+        self.network = network
+        self.manager = manager
+        self.gateways = gateways
+        self.devices = devices
+        self.device_keys = device_keys
+        self.gateway_keys = gateway_keys
+        self.initialized = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, config: BIoTConfig = BIoTConfig()) -> "BIoTSystem":
+        """Construct every node, link and identity for *config*."""
+        # Imported here (not at module top) because the node classes
+        # themselves import repro.core — a lazy import breaks the cycle.
+        from ..nodes.full_node import FullNode
+        from ..nodes.light_node import LightNode
+        from ..nodes.manager import ManagerNode
+
+        master = random.Random(config.seed)
+        scheduler = EventScheduler()
+        network = Network(
+            scheduler,
+            rng=random.Random(master.randrange(2 ** 63)),
+        )
+
+        manager_keys = KeyPair.generate(seed=f"manager:{config.seed}".encode())
+        device_keys = {
+            f"device-{i}": KeyPair.generate(seed=f"device:{config.seed}:{i}".encode())
+            for i in range(config.device_count)
+        }
+        genesis = ManagerNode.create_genesis(
+            manager_keys,
+            network_name=f"smart-factory-{config.seed}",
+            token_allocations=[
+                (keys.node_id, config.token_allocation)
+                for keys in device_keys.values()
+            ],
+        )
+
+        def new_consensus() -> CreditBasedConsensus:
+            registry = CreditRegistry(config.credit_params)
+            policy: DifficultyPolicy = InverseDifficultyPolicy(
+                initial_difficulty=config.initial_difficulty,
+            )
+            return CreditBasedConsensus(
+                registry, policy=policy,
+                max_parent_age=config.credit_params.delta_t,
+            )
+
+        def new_tip_selector() -> TipSelector:
+            if config.tip_alpha is None:
+                from ..tangle.tip_selection import UniformRandomTipSelector
+                return UniformRandomTipSelector()
+            return WeightedRandomWalkSelector(alpha=config.tip_alpha)
+
+        manager = ManagerNode(
+            "manager", manager_keys, genesis,
+            consensus=new_consensus(),
+            tip_selector=new_tip_selector(),
+            rng=random.Random(master.randrange(2 ** 63)),
+            enforce_pow=config.enforce_pow,
+        )
+        manager.consensus.registry.set_weight_provider(manager.tangle.weight)
+        network.attach(manager)
+
+        gateways: List[FullNode] = []
+        gateway_keys = {
+            f"gateway-{i}": KeyPair.generate(
+                seed=f"gateway:{config.seed}:{i}".encode()
+            )
+            for i in range(config.gateway_count)
+        }
+        for i in range(config.gateway_count):
+            gateway = FullNode(
+                f"gateway-{i}", genesis,
+                consensus=new_consensus(),
+                tip_selector=new_tip_selector(),
+                rng=random.Random(master.randrange(2 ** 63)),
+                enforce_pow=config.enforce_pow,
+            )
+            gateway.consensus.registry.set_weight_provider(gateway.tangle.weight)
+            network.attach(gateway)
+            gateways.append(gateway)
+
+        # Full mesh among full nodes over the backbone.
+        full_nodes: List[FullNode] = [manager] + gateways
+        for a in full_nodes:
+            for b in full_nodes:
+                if a.address != b.address:
+                    a.add_peer(b.address)
+                    network.set_link(a.address, b.address, config.backbone_link)
+
+        devices: List[LightNode] = []
+        for i, (address, keys) in enumerate(sorted(device_keys.items())):
+            sensor_type = config.sensor_cycle[i % len(config.sensor_cycle)]
+            gateway = gateways[i % len(gateways)]
+            device = LightNode(
+                address, keys,
+                gateway=gateway.address,
+                manager=manager_keys.public,
+                sensor=make_sensor(sensor_type, seed=config.seed + i),
+                report_interval=config.report_interval,
+                rng=random.Random(master.randrange(2 ** 63)),
+            )
+            network.attach(device)
+            network.set_link(address, gateway.address, config.wireless_link)
+            network.set_link(address, manager.address, config.wireless_link)
+            devices.append(device)
+
+        return cls(
+            config=config,
+            scheduler=scheduler,
+            network=network,
+            manager=manager,
+            gateways=gateways,
+            devices=devices,
+            device_keys=device_keys,
+            gateway_keys=gateway_keys,
+        )
+
+    # -- workflow steps 1-3 --------------------------------------------------
+
+    def initialize(self, *, settle_seconds: float = 2.0) -> None:
+        """Run workflow steps 1–3: register gateways, authorise devices,
+        distribute keys to sensitive-data devices."""
+        # Step 1: record gateway identifiers on the ledger.
+        self.manager.register_gateways(
+            [keys.public for keys in self.gateway_keys.values()]
+        )
+        # Step 2: authorise the device population (Eqn. 1).
+        self.manager.authorize_devices(
+            [keys.public for keys in self.device_keys.values()]
+        )
+        self.scheduler.run_until(self.scheduler.clock.now() + settle_seconds)
+        # Step 3: distribute keys to devices whose sensor is sensitive.
+        for device in self.devices:
+            if device.sensor.sensitive:
+                self.manager.distribute_key(device.address,
+                                            device.keypair.public)
+        self.scheduler.run_until(self.scheduler.clock.now() + settle_seconds)
+        self.initialized = True
+
+    # -- workflow steps 4-5 --------------------------------------------------
+
+    def start_devices(self, *, stagger: float = 0.25) -> None:
+        """Kick off every device's reporting loop (staggered starts)."""
+        for index, device in enumerate(self.devices):
+            device.start(initial_delay=index * stagger)
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation by *seconds*."""
+        self.scheduler.run_until(self.scheduler.clock.now() + seconds)
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate statistics across the deployment."""
+        accepted = sum(d.stats.submissions_accepted for d in self.devices)
+        sent = sum(d.stats.submissions_sent for d in self.devices)
+        full_nodes = [self.manager] + self.gateways
+        return {
+            "time": self.scheduler.clock.now(),
+            "devices": len(self.devices),
+            "gateways": len(self.gateways),
+            "submissions_sent": sent,
+            "submissions_accepted": accepted,
+            "tangle_sizes": {n.address: n.tangle_size for n in full_nodes},
+            "messages_delivered": self.network.messages_delivered,
+            "messages_dropped": self.network.messages_dropped,
+            "mean_pow_seconds": (
+                sum(d.stats.mean_pow_seconds for d in self.devices)
+                / len(self.devices)
+            ),
+            "key_distributions": self.manager.distributor.completed_distributions,
+        }

@@ -1,0 +1,324 @@
+"""The credit model — Eqns. 2–5 of the paper.
+
+Every node ``i`` carries a credit value::
+
+    Cr_i = λ1 · CrP_i + λ2 · CrN_i                                (Eqn. 2)
+
+    CrP_i = Σ_{k=1..n_i} w_k / ΔT                                 (Eqn. 3)
+        — the *positive* part: the summed weights of node i's valid
+        transactions inside the most recent unit of time ΔT.  An
+        inactive node has CrP = 0: the system "will not decrease the
+        difficulty of PoW for it at the beginning".
+
+    CrN_i = - Σ_{k=1..m_i} α(B) · ΔT / (t - t_k)                  (Eqn. 4)
+        — the *negative* part: every malicious behaviour at time t_k
+        contributes a penalty that decays hyperbolically but never
+        fully disappears.
+
+    α(B) = αl for lazy tips, αd for double spending                (Eqn. 5)
+
+Section VI-A fixes the evaluation parameters: λ1 = 1, λ2 = 0.5,
+ΔT = 30 s, αl = 0.5, αd = 1 — these are the defaults here.
+
+The weight ``w_k`` of a transaction is its tangle weight ("the number
+of validation[s] to this transaction"), so the registry takes a
+*weight provider* callback and re-reads weights at evaluation time:
+credit genuinely rises as the network approves your transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "MaliciousBehaviour",
+    "CreditParameters",
+    "CreditBreakdown",
+    "CreditRegistry",
+]
+
+
+class MaliciousBehaviour:
+    """Behaviour kinds the mechanism punishes.
+
+    ``LAZY_TIPS`` and ``DOUBLE_SPENDING`` are the paper's Eqn. 5 kinds;
+    ``BAD_DATA`` is the data-quality extension (Section VIII future
+    work, :mod:`repro.core.quality`).
+    """
+
+    LAZY_TIPS = "lazy-tips"
+    DOUBLE_SPENDING = "double-spending"
+    BAD_DATA = "bad-data"
+
+
+@dataclass(frozen=True)
+class CreditParameters:
+    """Tunable knobs of the credit mechanism.
+
+    Attributes:
+        lambda1: weight of the positive component.
+        lambda2: weight of the negative component ("if we want to adopt
+            strict punishment strategy ... set λ2 larger").
+        delta_t: the unit of time ΔT in seconds.
+        alpha: punishment coefficient per behaviour kind (Eqn. 5).
+        min_elapsed: clamp on (t - t_k) so a just-committed attack has a
+            very large but finite penalty.
+        max_transaction_weight: cap on each w_k entering Eqn. 3.  The
+            paper's Fig. 8 weight bars stay in the single digits; an
+            uncapped cumulative weight on a busy tangle grows linearly
+            with age and would let a high-traffic node bank enough CrP
+            to shrug off penalties entirely.
+    """
+
+    lambda1: float = 1.0
+    lambda2: float = 0.5
+    delta_t: float = 30.0
+    alpha: Tuple[Tuple[str, float], ...] = (
+        (MaliciousBehaviour.LAZY_TIPS, 0.5),
+        (MaliciousBehaviour.DOUBLE_SPENDING, 1.0),
+        (MaliciousBehaviour.BAD_DATA, 0.25),
+    )
+    min_elapsed: float = 0.5
+    max_transaction_weight: float = 5.0
+
+    def __post_init__(self):
+        if self.lambda1 < 0 or self.lambda2 < 0:
+            raise ValueError("lambda coefficients must be non-negative")
+        if self.delta_t <= 0:
+            raise ValueError("delta_t must be positive")
+        if self.min_elapsed <= 0:
+            raise ValueError("min_elapsed must be positive")
+        if self.max_transaction_weight <= 0:
+            raise ValueError("max_transaction_weight must be positive")
+        for _, coefficient in self.alpha:
+            if coefficient < 0:
+                raise ValueError("punishment coefficients must be non-negative")
+
+    def punishment_coefficient(self, behaviour: str) -> float:
+        """α(B) for *behaviour*; unknown kinds get the harshest α."""
+        table = dict(self.alpha)
+        if behaviour in table:
+            return table[behaviour]
+        return max(table.values()) if table else 1.0
+
+
+@dataclass(frozen=True)
+class CreditBreakdown:
+    """A credit evaluation with its components (what Fig. 8 plots)."""
+
+    credit: float
+    positive: float
+    negative: float
+    active_transactions: int
+    malicious_events: int
+
+
+@dataclass
+class _NodeHistory:
+    transactions: List[Tuple[float, bytes]] = field(default_factory=list)
+    malicious: List[Tuple[float, str]] = field(default_factory=list)
+
+
+class CreditRegistry:
+    """Tracks behaviour and evaluates credit for every node.
+
+    Args:
+        params: the :class:`CreditParameters` in force.
+        weight_provider: callable mapping a transaction hash to its
+            current tangle weight; defaults to weight 1 per transaction
+            (pure activity counting).
+    """
+
+    def __init__(self, params: Optional[CreditParameters] = None, *,
+                 weight_provider: Optional[Callable[[bytes], int]] = None):
+        self.params = params if params is not None else CreditParameters()
+        self._weight_provider = weight_provider
+        self._history: Dict[bytes, _NodeHistory] = {}
+        # Weights frozen at snapshot time for records whose transaction
+        # is no longer resolvable (pruned) — see import_state.
+        self._weight_overrides: Dict[bytes, float] = {}
+
+    def set_weight_provider(self,
+                            weight_provider: Callable[[bytes], int]) -> None:
+        """Install the tangle-weight lookup after construction.
+
+        Full nodes build their credit registry before their tangle
+        replica exists; this closes the loop once the tangle is up.
+        """
+        self._weight_provider = weight_provider
+
+    # -- recording -------------------------------------------------------
+
+    def _node(self, node_id: bytes) -> _NodeHistory:
+        history = self._history.get(node_id)
+        if history is None:
+            history = _NodeHistory()
+            self._history[node_id] = history
+        return history
+
+    def record_transaction(self, node_id: bytes, tx_hash: bytes,
+                           timestamp: float) -> None:
+        """Record a *valid* transaction issued by *node_id*."""
+        self._node(node_id).transactions.append((timestamp, tx_hash))
+
+    def record_malicious(self, node_id: bytes, behaviour: str,
+                         timestamp: float) -> None:
+        """Record a detected malicious behaviour (Eqn. 5 kinds)."""
+        self._node(node_id).malicious.append((timestamp, behaviour))
+
+    def known_nodes(self) -> List[bytes]:
+        return sorted(self._history)
+
+    def transaction_count(self, node_id: bytes) -> int:
+        history = self._history.get(node_id)
+        return len(history.transactions) if history else 0
+
+    def malicious_count(self, node_id: bytes) -> int:
+        history = self._history.get(node_id)
+        return len(history.malicious) if history else 0
+
+    # -- evaluation ------------------------------------------------------
+
+    def _transaction_weight(self, tx_hash: bytes) -> float:
+        if self._weight_provider is None:
+            weight = self._weight_overrides.get(tx_hash, 1.0)
+            return min(weight, self.params.max_transaction_weight)
+        try:
+            weight = float(self._weight_provider(tx_hash))
+        except KeyError:
+            # The transaction fell out of the provider's view (pruned);
+            # use the weight frozen at snapshot time if one was imported.
+            weight = self._weight_overrides.get(tx_hash, 1.0)
+        return min(weight, self.params.max_transaction_weight)
+
+    def positive_credit(self, node_id: bytes, now: float) -> float:
+        """CrP_i (Eqn. 3): weighted activity over the last ΔT seconds."""
+        history = self._history.get(node_id)
+        if history is None:
+            return 0.0
+        window_start = now - self.params.delta_t
+        total_weight = sum(
+            self._transaction_weight(tx_hash)
+            for timestamp, tx_hash in history.transactions
+            if window_start <= timestamp <= now
+        )
+        return total_weight / self.params.delta_t
+
+    def negative_credit(self, node_id: bytes, now: float) -> float:
+        """CrN_i (Eqn. 4): decaying, never-vanishing penalties."""
+        history = self._history.get(node_id)
+        if history is None:
+            return 0.0
+        penalty = 0.0
+        for timestamp, behaviour in history.malicious:
+            if timestamp > now:
+                continue
+            elapsed = max(now - timestamp, self.params.min_elapsed)
+            penalty += (
+                self.params.punishment_coefficient(behaviour)
+                * self.params.delta_t / elapsed
+            )
+        return -penalty
+
+    def credit(self, node_id: bytes, now: float) -> float:
+        """Cr_i (Eqn. 2)."""
+        return (
+            self.params.lambda1 * self.positive_credit(node_id, now)
+            + self.params.lambda2 * self.negative_credit(node_id, now)
+        )
+
+    def breakdown(self, node_id: bytes, now: float) -> CreditBreakdown:
+        """Full evaluation with components, for traces and Fig. 8."""
+        positive = self.positive_credit(node_id, now)
+        negative = self.negative_credit(node_id, now)
+        history = self._history.get(node_id)
+        window_start = now - self.params.delta_t
+        active = 0
+        malicious = 0
+        if history is not None:
+            active = sum(
+                1 for timestamp, _ in history.transactions
+                if window_start <= timestamp <= now
+            )
+            malicious = sum(1 for timestamp, _ in history.malicious if timestamp <= now)
+        return CreditBreakdown(
+            credit=self.params.lambda1 * positive + self.params.lambda2 * negative,
+            positive=positive,
+            negative=negative,
+            active_transactions=active,
+            malicious_events=malicious,
+        )
+
+    # -- state transfer ----------------------------------------------------
+
+    def export_state(self, *, now: float) -> Dict[str, object]:
+        """Serialisable behaviour histories, for node snapshots.
+
+        Transaction records older than ΔT before *now* are dropped
+        (they can never re-enter the CrP window); malicious records are
+        exported in full — Eqn. 4 never forgets.
+        """
+        cutoff = now - self.params.delta_t
+        return {
+            "now": now,
+            "nodes": {
+                node_id.hex(): {
+                    # Each record carries its weight *resolved now*: the
+                    # importer may not hold the transaction any more
+                    # (pruned), and replicas must still agree on CrP.
+                    "transactions": [
+                        [timestamp, tx_hash.hex(),
+                         self._transaction_weight(tx_hash)]
+                        for timestamp, tx_hash in history.transactions
+                        if timestamp >= cutoff
+                    ],
+                    "malicious": [
+                        [timestamp, behaviour]
+                        for timestamp, behaviour in history.malicious
+                    ],
+                }
+                for node_id, history in self._history.items()
+            },
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`export_state` output (replaces all histories)."""
+        try:
+            histories: Dict[bytes, _NodeHistory] = {}
+            overrides: Dict[bytes, float] = {}
+            for node_hex, entry in state["nodes"].items():
+                transactions = []
+                for record in entry["transactions"]:
+                    timestamp, tx_hash_hex, weight = record
+                    tx_hash = bytes.fromhex(tx_hash_hex)
+                    transactions.append((float(timestamp), tx_hash))
+                    overrides[tx_hash] = float(weight)
+                history = _NodeHistory(
+                    transactions=transactions,
+                    malicious=[
+                        (float(timestamp), str(behaviour))
+                        for timestamp, behaviour in entry["malicious"]
+                    ],
+                )
+                histories[bytes.fromhex(node_hex)] = history
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad credit state: {exc}") from exc
+        self._history = histories
+        self._weight_overrides = overrides
+
+    def forget_before(self, node_id: bytes, cutoff: float) -> int:
+        """Prune transaction records older than *cutoff* (they can no
+        longer enter the CrP window).  Malicious records are *never*
+        pruned — Eqn. 4's penalties decay but "cannot be eliminated over
+        time".  Returns how many records were dropped."""
+        history = self._history.get(node_id)
+        if history is None:
+            return 0
+        before = len(history.transactions)
+        history.transactions = [
+            (timestamp, tx_hash)
+            for timestamp, tx_hash in history.transactions
+            if timestamp >= cutoff
+        ]
+        return before - len(history.transactions)

@@ -1,0 +1,82 @@
+"""ECIES-style hybrid public-key encryption.
+
+Fig. 4 of the paper encrypts the first key-distribution message "by the
+public key of IoT device" (``Enc_PK_D{...}``).  Raw public-key
+encryption of arbitrary-length messages is realised here the standard
+way: an ephemeral X25519 key agreement, HKDF key derivation, AES-CTR
+encryption, and an HMAC-SHA256 tag (encrypt-then-MAC).
+
+Wire format::
+
+    ephemeral_public (32) || nonce (8) || ciphertext (len(m)) || tag (32)
+"""
+
+from __future__ import annotations
+
+from .rand import randbytes
+
+from . import aes
+from .kdf import constant_time_equal, hkdf, hmac_sha256
+from .x25519 import X25519_KEY_SIZE, public_from_private, x25519
+
+__all__ = ["encrypt", "decrypt", "OVERHEAD", "DecryptionError"]
+
+_NONCE_SIZE = 8
+_TAG_SIZE = 32
+OVERHEAD = X25519_KEY_SIZE + _NONCE_SIZE + _TAG_SIZE
+"""Ciphertext expansion in bytes relative to the plaintext."""
+
+_INFO_ENC = b"biot-ecies-enc"
+_INFO_MAC = b"biot-ecies-mac"
+
+
+class DecryptionError(Exception):
+    """Raised when an ECIES ciphertext fails authentication or parsing."""
+
+
+def _derive_keys(shared_secret: bytes, ephemeral_public: bytes,
+                 recipient_public: bytes) -> tuple:
+    """Derive (encryption key, MAC key) bound to both public keys."""
+    salt = ephemeral_public + recipient_public
+    enc_key = hkdf(shared_secret, salt=salt, info=_INFO_ENC, length=32)
+    mac_key = hkdf(shared_secret, salt=salt, info=_INFO_MAC, length=32)
+    return enc_key, mac_key
+
+
+def encrypt(recipient_public: bytes, plaintext: bytes, *,
+            _ephemeral_private: bytes = None) -> bytes:
+    """Encrypt *plaintext* so that only the holder of the matching
+    private key can read it.
+
+    ``_ephemeral_private`` exists solely so tests can make the output
+    deterministic; production callers must leave it unset.
+    """
+    ephemeral_private = _ephemeral_private or randbytes(X25519_KEY_SIZE)
+    ephemeral_public = public_from_private(ephemeral_private)
+    shared_secret = x25519(ephemeral_private, recipient_public)
+    enc_key, mac_key = _derive_keys(shared_secret, ephemeral_public, recipient_public)
+    nonce = randbytes(_NONCE_SIZE)
+    ciphertext = aes.ctr_encrypt(enc_key, nonce, plaintext)
+    tag = hmac_sha256(mac_key, ephemeral_public + nonce + ciphertext)
+    return ephemeral_public + nonce + ciphertext + tag
+
+
+def decrypt(recipient_private: bytes, envelope: bytes) -> bytes:
+    """Decrypt an ECIES *envelope*; raises :class:`DecryptionError` on
+    any tampering, truncation or wrong-key condition."""
+    if len(envelope) < OVERHEAD:
+        raise DecryptionError("envelope shorter than ECIES overhead")
+    ephemeral_public = envelope[:X25519_KEY_SIZE]
+    nonce = envelope[X25519_KEY_SIZE: X25519_KEY_SIZE + _NONCE_SIZE]
+    ciphertext = envelope[X25519_KEY_SIZE + _NONCE_SIZE: -_TAG_SIZE]
+    tag = envelope[-_TAG_SIZE:]
+    recipient_public = public_from_private(recipient_private)
+    try:
+        shared_secret = x25519(recipient_private, ephemeral_public)
+    except ValueError as exc:
+        raise DecryptionError(f"invalid ephemeral key: {exc}") from exc
+    enc_key, mac_key = _derive_keys(shared_secret, ephemeral_public, recipient_public)
+    expected = hmac_sha256(mac_key, ephemeral_public + nonce + ciphertext)
+    if not constant_time_equal(tag, expected):
+        raise DecryptionError("authentication tag mismatch")
+    return aes.ctr_decrypt(enc_key, nonce, ciphertext)

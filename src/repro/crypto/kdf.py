@@ -1,0 +1,54 @@
+"""Key-derivation helpers (HKDF, RFC 5869) built on stdlib HMAC-SHA256.
+
+Used by :mod:`repro.crypto.ecies` to turn an X25519 shared secret into
+independent encryption and MAC keys, and by the key-distribution
+protocol to derive session keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf", "hmac_sha256", "constant_time_equal"]
+
+_HASH_LEN = 32
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of *data* under *key*."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: concentrate entropy into a pseudorandom key."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand *pseudo_random_key* into *length* bytes bound to *info*."""
+    if length <= 0:
+        raise ValueError("output length must be positive")
+    if length > 255 * _HASH_LEN:
+        raise ValueError(f"HKDF output limited to {255 * _HASH_LEN} bytes")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(pseudo_random_key, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material: bytes, *, salt: bytes = b"", info: bytes = b"",
+         length: int = 32) -> bytes:
+    """One-shot HKDF (extract-then-expand)."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte-string comparison (wraps :func:`hmac.compare_digest`)."""
+    return hmac.compare_digest(a, b)

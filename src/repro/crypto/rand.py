@@ -1,0 +1,70 @@
+"""The crypto layer's randomness source.
+
+Everything in ``repro`` that needs unpredictable bytes (ephemeral ECIES
+keys, protocol nonces, group keys, CTR nonces) draws them from
+:func:`randbytes`.  By default that is ``os.urandom``; tests and
+reproducibility-sensitive experiments can swap in a deterministic
+stream with :func:`deterministic`:
+
+    with rand.deterministic(b"experiment-7"):
+        system = BIoTSystem.build(...)
+        ...   # every nonce, key and envelope is now a pure function
+              # of the seed — whole-system runs replay bit-for-bit
+
+The deterministic stream is SHA-256 in counter mode — uniform and
+independent across calls, obviously NOT secure against an adversary who
+knows the seed; it exists for replayability, not production use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["randbytes", "deterministic", "DeterministicSource"]
+
+_source: Callable[[int], bytes] = os.urandom
+
+
+def randbytes(count: int) -> bytes:
+    """Return *count* random bytes from the active source."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return _source(count)
+
+
+class DeterministicSource:
+    """SHA-256 counter-mode byte stream seeded by an arbitrary string."""
+
+    def __init__(self, seed: bytes):
+        self._seed = hashlib.sha256(b"repro-rand:" + seed).digest()
+        self._counter = 0
+        self._buffer = b""
+
+    def __call__(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:count], self._buffer[count:]
+        return out
+
+
+@contextmanager
+def deterministic(seed: bytes) -> Iterator[None]:
+    """Swap the randomness source for a seeded stream inside the block.
+
+    Nesting is allowed; each block restores the previous source on
+    exit, even on exceptions.
+    """
+    global _source
+    previous = _source
+    _source = DeterministicSource(seed)
+    try:
+        yield
+    finally:
+        _source = previous

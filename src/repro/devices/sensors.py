@@ -1,0 +1,250 @@
+"""Smart-factory sensor models.
+
+The case study (Section IV-A) deploys wireless sensors in a smart
+factory; sensors are the light nodes that submit readings as tangle
+transactions.  Readings are deterministic functions of a seed so every
+experiment is reproducible.
+
+Each sensor produces :class:`SensorReading` values; ``to_bytes`` gives
+the canonical payload posted to the ledger (optionally AES-encrypted by
+the data-authority layer for sensitive streams).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "SensorReading",
+    "ReadingBatch",
+    "Sensor",
+    "TemperatureSensor",
+    "VibrationSensor",
+    "HumiditySensor",
+    "PowerMeterSensor",
+    "MachineStatusSensor",
+    "SENSOR_TYPES",
+    "make_sensor",
+]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One sample from a factory sensor."""
+
+    sensor_type: str
+    value: float
+    unit: str
+    timestamp: float
+    sensitive: bool = False
+
+    def to_bytes(self) -> bytes:
+        """Canonical JSON payload (stable key order)."""
+        return json.dumps(
+            {
+                "sensor_type": self.sensor_type,
+                "value": self.value,
+                "unit": self.unit,
+                "timestamp": self.timestamp,
+                "sensitive": self.sensitive,
+            },
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SensorReading":
+        try:
+            fields = json.loads(data.decode())
+            return cls(
+                sensor_type=fields["sensor_type"],
+                value=float(fields["value"]),
+                unit=fields["unit"],
+                timestamp=float(fields["timestamp"]),
+                sensitive=bool(fields["sensitive"]),
+            )
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise ValueError(f"malformed sensor reading payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ReadingBatch:
+    """Several readings carried by one ledger transaction.
+
+    Batching amortises the per-transaction costs (PoW, signatures,
+    approvals) across readings — the throughput/latency trade-off the
+    Ext-7 bench sweeps.
+    """
+
+    readings: tuple
+
+    def __post_init__(self):
+        if not self.readings:
+            raise ValueError("a batch needs at least one reading")
+
+    @property
+    def sensitive(self) -> bool:
+        """A batch is sensitive if any member is."""
+        return any(reading.sensitive for reading in self.readings)
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            [json.loads(r.to_bytes().decode()) for r in self.readings],
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ReadingBatch":
+        try:
+            entries = json.loads(data.decode())
+            readings = tuple(
+                SensorReading.from_bytes(json.dumps(e, sort_keys=True).encode())
+                for e in entries
+            )
+        except (ValueError, TypeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"malformed reading batch: {exc}") from exc
+        return cls(readings=readings)
+
+    def __len__(self) -> int:
+        return len(self.readings)
+
+
+class Sensor:
+    """Base class: a seeded generator of :class:`SensorReading` values.
+
+    Subclasses implement :meth:`_sample` and declare ``sensor_type``,
+    ``unit`` and whether their stream is ``sensitive`` (which drives the
+    data-authority layer's decision to encrypt).
+    """
+
+    sensor_type = "generic"
+    unit = ""
+    sensitive = False
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(f"{self.sensor_type}:{seed}")
+        self._sample_index = 0
+
+    def read(self, timestamp: float) -> SensorReading:
+        """Produce the next reading stamped with *timestamp*."""
+        value = self._sample(self._sample_index)
+        self._sample_index += 1
+        return SensorReading(
+            sensor_type=self.sensor_type,
+            value=value,
+            unit=self.unit,
+            timestamp=timestamp,
+            sensitive=self.sensitive,
+        )
+
+    def _sample(self, index: int) -> float:
+        raise NotImplementedError
+
+
+class TemperatureSensor(Sensor):
+    """Ambient temperature: slow sinusoidal drift plus Gaussian noise."""
+
+    sensor_type = "temperature"
+    unit = "celsius"
+    sensitive = False
+
+    def __init__(self, seed: int = 0, base: float = 24.0, swing: float = 3.0):
+        super().__init__(seed)
+        self._base = base
+        self._swing = swing
+
+    def _sample(self, index: int) -> float:
+        drift = self._swing * math.sin(index / 50.0)
+        return self._base + drift + self._rng.gauss(0.0, 0.2)
+
+
+class VibrationSensor(Sensor):
+    """Machine-tool vibration RMS; occasionally spikes (bearing wear)."""
+
+    sensor_type = "vibration"
+    unit = "mm/s"
+    sensitive = False
+
+    def _sample(self, index: int) -> float:
+        baseline = 1.5 + self._rng.gauss(0.0, 0.1)
+        if self._rng.random() < 0.02:
+            baseline += self._rng.uniform(3.0, 8.0)
+        return max(0.0, baseline)
+
+
+class HumiditySensor(Sensor):
+    """Relative humidity, mean-reverting random walk clipped to [0, 100]."""
+
+    sensor_type = "humidity"
+    unit = "percent"
+    sensitive = False
+
+    def __init__(self, seed: int = 0, base: float = 45.0):
+        super().__init__(seed)
+        self._level = base
+        self._base = base
+
+    def _sample(self, index: int) -> float:
+        self._level += 0.1 * (self._base - self._level) + self._rng.gauss(0.0, 0.5)
+        self._level = min(100.0, max(0.0, self._level))
+        return self._level
+
+
+class PowerMeterSensor(Sensor):
+    """Per-machine power draw — *sensitive*: reveals production volume.
+
+    This is the class of data the paper's data-authority method exists
+    for: competitively sensitive telemetry that still benefits from the
+    tamper-proof ledger.
+    """
+
+    sensor_type = "power"
+    unit = "watts"
+    sensitive = True
+
+    def _sample(self, index: int) -> float:
+        # Duty cycle: machine alternates idle (~200 W) and load (~1800 W).
+        on_load = (index // 20) % 2 == 1
+        base = 1800.0 if on_load else 200.0
+        return base + self._rng.gauss(0.0, 25.0)
+
+
+class MachineStatusSensor(Sensor):
+    """Operating-parameter channel — *sensitive*: process recipes.
+
+    Carries the "machines operating parameters" that Section IV-A's
+    cross-factory sharing scenario exchanges between factories.
+    """
+
+    sensor_type = "machine-status"
+    unit = "code"
+    sensitive = True
+
+    def _sample(self, index: int) -> float:
+        return float(self._rng.choice((0, 1, 2, 3)))
+
+
+SENSOR_TYPES = {
+    cls.sensor_type: cls
+    for cls in (
+        TemperatureSensor,
+        VibrationSensor,
+        HumiditySensor,
+        PowerMeterSensor,
+        MachineStatusSensor,
+    )
+}
+"""Registry mapping ``sensor_type`` strings to classes."""
+
+
+def make_sensor(sensor_type: str, seed: int = 0) -> Sensor:
+    """Instantiate a registered sensor by type name."""
+    try:
+        sensor_cls = SENSOR_TYPES[sensor_type]
+    except KeyError:
+        raise ValueError(
+            f"unknown sensor type {sensor_type!r}; known: {sorted(SENSOR_TYPES)}"
+        ) from None
+    return sensor_cls(seed=seed)

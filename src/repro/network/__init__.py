@@ -1,0 +1,26 @@
+"""Simulated network substrate: discrete-event scheduling, lossy links,
+message routing, gossip and solidification."""
+
+from .gossip import GossipRelay, SolidificationBuffer
+from .network import Network, NetworkNode
+from .simulator import EventScheduler
+from .transport import (
+    BACKBONE_LINK,
+    LOCAL_LINK,
+    WIRELESS_SENSOR_LINK,
+    LatencyModel,
+    Message,
+)
+
+__all__ = [
+    "EventScheduler",
+    "Network",
+    "NetworkNode",
+    "Message",
+    "LatencyModel",
+    "WIRELESS_SENSOR_LINK",
+    "BACKBONE_LINK",
+    "LOCAL_LINK",
+    "GossipRelay",
+    "SolidificationBuffer",
+]

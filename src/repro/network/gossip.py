@@ -1,0 +1,123 @@
+"""Flooding gossip with duplicate suppression and solidification.
+
+Full nodes "keep the network secure and stable by broadcasting
+transactions and keeping copies of the blockchain" (Section IV-A).  Two
+mechanics make that work over a lossy asynchronous network:
+
+* :class:`GossipRelay` — classic flood: relay each item to all peers
+  the first time it is seen, never again (the seen-set bounds traffic).
+* :class:`SolidificationBuffer` — out-of-order arrival handling: a
+  transaction whose parents have not arrived yet is parked and retried
+  when a parent attaches (IOTA calls this *solidification*).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, List, Set, Tuple, TypeVar
+
+__all__ = ["GossipRelay", "SolidificationBuffer"]
+
+ItemT = TypeVar("ItemT")
+
+
+class GossipRelay:
+    """Duplicate-suppressed flooding over an explicit peer list."""
+
+    def __init__(self, peers: Iterable[str] = ()):
+        self.peers: List[str] = list(peers)
+        self._seen: Set[bytes] = set()
+        self.relays = 0
+        self.duplicates_suppressed = 0
+
+    def add_peer(self, address: str) -> None:
+        if address not in self.peers:
+            self.peers.append(address)
+
+    def remove_peer(self, address: str) -> None:
+        if address in self.peers:
+            self.peers.remove(address)
+
+    def mark_seen(self, item_id: bytes) -> bool:
+        """Record *item_id*; returns True when it is new."""
+        if item_id in self._seen:
+            self.duplicates_suppressed += 1
+            return False
+        self._seen.add(item_id)
+        return True
+
+    def has_seen(self, item_id: bytes) -> bool:
+        return item_id in self._seen
+
+    def relay_targets(self, item_id: bytes, *, exclude: str = None) -> List[str]:
+        """Peers to forward a newly seen item to (exclude its source)."""
+        self.relays += 1
+        return [peer for peer in self.peers if peer != exclude]
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)
+
+
+class SolidificationBuffer(Generic[ItemT]):
+    """Parks items whose dependencies are missing; releases them as
+    dependencies arrive.
+
+    Dependencies are 32-byte ids (parent transaction hashes).  The
+    buffer is bounded; overflow evicts the oldest parked item, which
+    models a constrained gateway shedding unsolidifiable junk.
+    """
+
+    def __init__(self, *, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        # parked item id -> (item, missing dependency ids)
+        self._parked: Dict[bytes, Tuple[ItemT, Set[bytes]]] = {}
+        # dependency id -> parked item ids waiting on it
+        self._waiters: Dict[bytes, Set[bytes]] = defaultdict(set)
+        self._insertion_order: List[bytes] = []
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._parked)
+
+    def __contains__(self, item_id: bytes) -> bool:
+        return item_id in self._parked
+
+    def park(self, item_id: bytes, item: ItemT, missing: Iterable[bytes]) -> None:
+        """Hold *item* until every id in *missing* has been satisfied."""
+        missing_set = set(missing)
+        if not missing_set:
+            raise ValueError("park requires at least one missing dependency")
+        if item_id in self._parked:
+            return
+        if len(self._parked) >= self.capacity:
+            self._evict_oldest()
+        self._parked[item_id] = (item, missing_set)
+        self._insertion_order.append(item_id)
+        for dependency in missing_set:
+            self._waiters[dependency].add(item_id)
+
+    def satisfy(self, dependency_id: bytes) -> List[Tuple[bytes, ItemT]]:
+        """Mark *dependency_id* as available; returns items that became
+        fully solid (and removes them from the buffer)."""
+        released: List[Tuple[bytes, ItemT]] = []
+        for waiting_id in sorted(self._waiters.pop(dependency_id, ())):
+            entry = self._parked.get(waiting_id)
+            if entry is None:
+                continue
+            item, missing = entry
+            missing.discard(dependency_id)
+            if not missing:
+                del self._parked[waiting_id]
+                self._insertion_order.remove(waiting_id)
+                released.append((waiting_id, item))
+        return released
+
+    def _evict_oldest(self) -> None:
+        oldest_id = self._insertion_order.pop(0)
+        _, missing = self._parked.pop(oldest_id)
+        for dependency in missing:
+            self._waiters[dependency].discard(oldest_id)
+        self.evictions += 1

@@ -1,0 +1,234 @@
+"""The simulated network connecting B-IoT nodes.
+
+Nodes register under string addresses; :meth:`Network.send` samples the
+link's latency model and schedules delivery on the shared
+:class:`~repro.network.simulator.EventScheduler`.  Links can be cut and
+restored at runtime, which is how the single-point-of-failure and DDoS
+experiments disturb the system.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .simulator import EventScheduler
+from .transport import LOCAL_LINK, LatencyModel, Message
+
+__all__ = ["NetworkNode", "Network"]
+
+
+class NetworkNode:
+    """Base class for anything attachable to a :class:`Network`.
+
+    Subclasses implement :meth:`handle_message`; the network injects
+    itself via :meth:`bind` so nodes can reply.
+
+    ``service_time_s`` models the node's request-processing capacity:
+    when positive, each delivered message occupies the node for that
+    many seconds and later arrivals queue behind it (a single-server
+    FIFO).  This is what makes flooding attacks *mean* something — a
+    DDoSed gateway's queue grows and honest requests see its backlog.
+    Zero (the default) keeps the node infinitely fast.
+    """
+
+    def __init__(self, address: str, *, service_time_s: float = 0.0):
+        if not address:
+            raise ValueError("node address must be non-empty")
+        if service_time_s < 0:
+            raise ValueError("service_time_s must be non-negative")
+        self.address = address
+        self.service_time_s = service_time_s
+        self.network: Optional["Network"] = None
+        self.received_count = 0
+        self.queue_depth_peak = 0
+        self._busy_until = 0.0
+        self._queued = 0
+
+    def bind(self, network: "Network") -> None:
+        self.network = network
+
+    def send(self, recipient: str, kind: str, body, *, size_bytes: int = 0) -> bool:
+        """Send a message through the bound network."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.address} is not attached to a network")
+        return self.network.send(self.address, recipient, kind, body,
+                                 size_bytes=size_bytes)
+
+    def handle_message(self, message: Message) -> None:
+        """Process a delivered message (subclasses override)."""
+        raise NotImplementedError
+
+    def _deliver(self, message: Message) -> None:
+        self.received_count += 1
+        self.handle_message(message)
+
+    def processing_delay(self, now: float) -> float:
+        """Queue this arrival behind the node's backlog; returns how
+        long after *now* the node actually processes it."""
+        if self.service_time_s <= 0.0:
+            return 0.0
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.service_time_s
+        self._queued += 1
+        backlog = int(round((self._busy_until - now) / self.service_time_s))
+        self.queue_depth_peak = max(self.queue_depth_peak, backlog)
+        return self._busy_until - now
+
+    @property
+    def backlog_seconds(self) -> float:
+        """How far the node's queue currently extends past the clock
+        (meaningful only when ``service_time_s`` is positive)."""
+        if self.network is None:
+            return 0.0
+        return max(0.0, self._busy_until - self.network.scheduler.clock.now())
+
+
+class Network:
+    """Address-routed message fabric with per-link latency models.
+
+    Args:
+        scheduler: the event scheduler driving time.
+        default_link: latency model for node pairs without an explicit
+            link configured.
+        rng: randomness for latency jitter and loss (seed it!).
+    """
+
+    def __init__(self, scheduler: EventScheduler, *,
+                 default_link: LatencyModel = LOCAL_LINK,
+                 rng: Optional[random.Random] = None):
+        self.scheduler = scheduler
+        self.default_link = default_link
+        self._rng = rng if rng is not None else random.Random()
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._links: Dict[Tuple[str, str], LatencyModel] = {}
+        self._down: Set[str] = set()
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self._taps: List[Callable[[Message], None]] = []
+
+    # -- topology --------------------------------------------------------
+
+    def attach(self, node: NetworkNode) -> None:
+        """Register *node* under its address (must be unique)."""
+        if node.address in self._nodes:
+            raise ValueError(f"address {node.address!r} already attached")
+        self._nodes[node.address] = node
+        node.bind(self)
+
+    def node(self, address: str) -> NetworkNode:
+        return self._nodes[address]
+
+    @property
+    def addresses(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def set_link(self, a: str, b: str, model: LatencyModel) -> None:
+        """Configure the latency model between *a* and *b* (symmetric)."""
+        self._links[(a, b)] = model
+        self._links[(b, a)] = model
+
+    def link_for(self, sender: str, recipient: str) -> LatencyModel:
+        return self._links.get((sender, recipient), self.default_link)
+
+    # -- failures --------------------------------------------------------
+
+    def take_down(self, address: str) -> None:
+        """Crash a node: all traffic to/from it is dropped."""
+        if address not in self._nodes:
+            raise KeyError(address)
+        self._down.add(address)
+
+    def bring_up(self, address: str) -> None:
+        """Restore a crashed node."""
+        self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Partition: silently drop traffic between *a* and *b*."""
+        self._cut_links.add((a, b))
+        self._cut_links.add((b, a))
+
+    def heal_link(self, a: str, b: str) -> None:
+        self._cut_links.discard((a, b))
+        self._cut_links.discard((b, a))
+
+    # -- observation -----------------------------------------------------
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Observe every *delivered* message (metrics, debugging)."""
+        self._taps.append(tap)
+
+    # -- transmission ----------------------------------------------------
+
+    def send(self, sender: str, recipient: str, kind: str, body, *,
+             size_bytes: int = 0) -> bool:
+        """Route one message; returns False if it was dropped.
+
+        Drops happen when either endpoint is down, the link is cut, the
+        recipient is unknown, or the latency model loses the packet.
+        """
+        self.messages_sent += 1
+        if recipient not in self._nodes:
+            self.messages_dropped += 1
+            return False
+        if sender in self._down or recipient in self._down:
+            self.messages_dropped += 1
+            return False
+        if (sender, recipient) in self._cut_links:
+            self.messages_dropped += 1
+            return False
+        delay = self.link_for(sender, recipient).sample_delay(self._rng, size_bytes)
+        if delay is None:
+            self.messages_dropped += 1
+            return False
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            body=body,
+            sent_at=self.scheduler.clock.now(),
+            size_bytes=size_bytes,
+        )
+        node = self._nodes[recipient]
+        # Arrival time = propagation; processing waits for the node's
+        # service queue on top of that.
+        arrival = self.scheduler.clock.now() + delay
+        delay += node.processing_delay(arrival)
+        self.scheduler.schedule(delay, lambda: self._deliver(message))
+        return True
+
+    def broadcast(self, sender: str, kind: str, body, *,
+                  recipients: Optional[List[str]] = None,
+                  size_bytes: int = 0) -> int:
+        """Send to every attached node except the sender; returns how
+        many messages were accepted for delivery."""
+        targets = recipients if recipients is not None else [
+            addr for addr in self.addresses if addr != sender
+        ]
+        return sum(
+            1 for addr in targets
+            if self.send(sender, addr, kind, body, size_bytes=size_bytes)
+        )
+
+    def _deliver(self, message: Message) -> None:
+        # Re-check the RECIPIENT's liveness at delivery time: a node
+        # that crashed while the message was in flight never sees it.
+        # The sender's state is irrelevant here — a packet already
+        # transmitted keeps propagating even if its sender died, which
+        # is what closes the crash-time replication window.
+        if message.recipient in self._down:
+            self.messages_dropped += 1
+            return
+        node = self._nodes.get(message.recipient)
+        if node is None:  # pragma: no cover - detach is not supported
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        for tap in self._taps:
+            tap(message)
+        node._deliver(message)

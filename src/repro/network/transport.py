@@ -1,0 +1,98 @@
+"""Message and link models for the simulated IoT network.
+
+Wireless sensors talk to gateways over links with latency, jitter and
+loss; gateways talk to each other over a faster, more reliable
+backbone.  :class:`LatencyModel` captures one link class; the
+:class:`~repro.network.network.Network` assigns a model per node pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message", "LatencyModel", "WIRELESS_SENSOR_LINK", "BACKBONE_LINK", "LOCAL_LINK"]
+
+_message_counter = [0]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message between two simulated nodes.
+
+    ``body`` is any Python object (transactions, protocol records);
+    ``size_bytes`` drives transmission-delay accounting where relevant.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    body: Any
+    sent_at: float
+    size_bytes: int = 0
+    message_id: int = field(default_factory=lambda: _next_message_id())
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.kind!r}, {self.sender} -> {self.recipient}, "
+            f"t={self.sent_at:.3f})"
+        )
+
+
+def _next_message_id() -> int:
+    _message_counter[0] += 1
+    return _message_counter[0]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Propagation model for one link class.
+
+    Attributes:
+        base_latency: fixed one-way delay in seconds.
+        jitter: uniform extra delay in [0, jitter].
+        loss_rate: probability a message is silently dropped.
+        bandwidth_bytes_per_second: when positive, adds a size-dependent
+            transmission delay.
+    """
+
+    base_latency: float = 0.01
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    bandwidth_bytes_per_second: float = 0.0
+
+    def __post_init__(self):
+        if self.base_latency < 0 or self.jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.bandwidth_bytes_per_second < 0:
+            raise ValueError("bandwidth must be non-negative")
+
+    def sample_delay(self, rng: random.Random, size_bytes: int = 0) -> Optional[float]:
+        """One-way delay for a message, or None when the link drops it."""
+        if self.loss_rate > 0.0 and rng.random() < self.loss_rate:
+            return None
+        delay = self.base_latency
+        if self.jitter > 0.0:
+            delay += rng.uniform(0.0, self.jitter)
+        if self.bandwidth_bytes_per_second > 0.0 and size_bytes > 0:
+            delay += size_bytes / self.bandwidth_bytes_per_second
+        return delay
+
+
+WIRELESS_SENSOR_LINK = LatencyModel(
+    base_latency=0.02, jitter=0.03, loss_rate=0.01,
+    bandwidth_bytes_per_second=250_000.0,
+)
+"""Sensor-to-gateway 802.15.4-class wireless link."""
+
+BACKBONE_LINK = LatencyModel(
+    base_latency=0.005, jitter=0.002, loss_rate=0.0,
+    bandwidth_bytes_per_second=12_500_000.0,
+)
+"""Gateway-to-gateway wired backbone."""
+
+LOCAL_LINK = LatencyModel(base_latency=0.0, jitter=0.0, loss_rate=0.0)
+"""Zero-cost link for single-host tests."""

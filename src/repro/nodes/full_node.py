@@ -1,0 +1,455 @@
+"""Full nodes (gateways) — Section IV-A.2.
+
+"Gateways play the role of full nodes, which are committed to
+maintaining the tangle network ... they receive the requests from
+various sensors, verify and broadcast the transactions in the tangle,
+they only process transactions from legal sensors that are authorized
+by the manager."
+
+A :class:`FullNode` keeps a complete tangle replica with the token
+ledger and ACL state layered on as validators, runs the credit-based
+consensus bookkeeping, serves the light-node RPC interface (the
+reproduction of IRI's HTTP API), and floods new transactions to peer
+full nodes with solidification for out-of-order arrivals.
+
+RPC message kinds:
+
+* ``get_tips_request`` → ``get_tips_response`` — returns two tips to
+  approve *and* the credit-assigned PoW difficulty for the caller
+  (workflow step 4, Fig. 6);
+* ``submit_transaction`` → ``submit_response`` — validate, attach,
+  gossip (workflow step 5);
+* ``gossip_transaction`` — full-node flood traffic;
+* ``sync_request`` → ``sync_response`` — anti-entropy: a (re)joining
+  full node announces the transactions it knows; the peer returns what
+  is missing, in arrival order, so gossip gaps (crashes, partitions)
+  heal without replaying the whole history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.acl import AuthorizationList, GenesisConfig
+from ..core.consensus import CreditBasedConsensus
+from ..devices.profiles import PC, DeviceProfile
+from ..network.gossip import GossipRelay, SolidificationBuffer
+from ..network.network import NetworkNode
+from ..network.transport import Message
+from ..tangle.errors import (
+    DuplicateTransactionError,
+    UnknownParentError,
+    ValidationError,
+)
+from ..tangle.ledger import TokenLedger
+from ..tangle.tangle import Tangle
+from ..tangle.tip_selection import TipSelector, UniformRandomTipSelector
+from ..tangle.transaction import Transaction, TransactionKind
+from ..tangle.validation import crypto_validator
+
+__all__ = ["FullNode", "FullNodeStats"]
+
+
+@dataclass
+class FullNodeStats:
+    """Counters a gateway accumulates while serving the network."""
+
+    tips_served: int = 0
+    submissions_accepted: int = 0
+    submissions_rejected: int = 0
+    gossip_accepted: int = 0
+    gossip_duplicates: int = 0
+    gossip_parked: int = 0
+    double_spends_detected: int = 0
+    unauthorized_rejected: int = 0
+    sync_requests_served: int = 0
+    sync_transactions_sent: int = 0
+    sync_transactions_received: int = 0
+    malformed_messages: int = 0
+    rejection_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def count_rejection(self, error: Exception) -> None:
+        reason = type(error).__name__
+        self.rejection_reasons[reason] = self.rejection_reasons.get(reason, 0) + 1
+
+
+class FullNode(NetworkNode):
+    """A gateway: tangle replica + validation + gossip + light-node RPC.
+
+    Args:
+        address: network address.
+        genesis: the shared genesis transaction (carries the
+            :class:`~repro.core.acl.GenesisConfig` trust anchor).
+        consensus: the node's credit-based consensus instance (each
+            replica tracks credit from its own observations).
+        tip_selector: strategy used to answer ``get_tips_request``.
+        profile: hardware class (gateways default to the PC profile).
+        rng: seeded randomness for tip selection.
+        enforce_pow: verify nonces cryptographically; pure-simulation
+            sweeps with sampled PoW disable this.
+        quality_monitor: optional
+            :class:`~repro.core.quality.ReadingQualityMonitor`; when
+            present, plaintext sensor readings are screened and flagged
+            issuers are punished through the credit mechanism
+            (``bad-data`` behaviour).  Off by default: monitor state
+            depends on per-replica arrival order, so deployments that
+            enable it should pair it with a difficulty tolerance ≥ 1.
+    """
+
+    def __init__(self, address: str, genesis: Transaction, *,
+                 consensus: Optional[CreditBasedConsensus] = None,
+                 tip_selector: Optional[TipSelector] = None,
+                 profile: DeviceProfile = PC,
+                 rng: Optional[random.Random] = None,
+                 enforce_pow: bool = True,
+                 quality_monitor=None):
+        super().__init__(address)
+        self.quality_monitor = quality_monitor
+        self.profile = profile
+        self.rng = rng if rng is not None else random.Random()
+        self.consensus = consensus if consensus is not None else CreditBasedConsensus()
+        self.tip_selector = tip_selector if tip_selector is not None else UniformRandomTipSelector()
+
+        config = GenesisConfig.from_genesis(genesis)
+        self.acl = AuthorizationList(config.manager, config.extra_managers)
+        self.ledger = TokenLedger(dict(config.token_allocations))
+        # NOTE: the token ledger is deliberately NOT an attach validator.
+        # Conflicting transfers must still *attach* (and gossip) so every
+        # replica holds the same DAG; their ledger effect is arbitrated
+        # deterministically afterwards (TokenLedger.apply_or_conflict).
+        # Refusing them structurally would strand all their descendants
+        # in the solidification buffer on replicas that saw the other
+        # conflict branch first.
+        # Only *stateless* checks gate replication: structurally valid
+        # transactions must attach identically everywhere.  Stateful
+        # policy (ACL membership, credit-required difficulty) is an
+        # ADMISSION rule applied on the submission path below — replicas
+        # evaluate credit from whatever subset of history has reached
+        # them, so making policy a replication-validity rule would let
+        # knowledge races fork the replicas permanently.
+        self.tangle = Tangle(genesis, validators=[
+            crypto_validator(allow_simulated_pow=not enforce_pow),
+        ])
+        self.relay = GossipRelay()
+        self.relay.mark_seen(genesis.tx_hash)
+        self.solidification: SolidificationBuffer = SolidificationBuffer()
+        self.stats = FullNodeStats()
+        # Transactions at or before this ledger time have their credit
+        # effects already baked into the registry (imported snapshot
+        # state); re-ingesting them must not re-record behaviour.
+        self.credit_horizon = -float("inf")
+
+    # -- peers -------------------------------------------------------------
+
+    def add_peer(self, address: str) -> None:
+        """Register another full node for gossip flooding."""
+        self.relay.add_peer(address)
+
+    # -- snapshots / bootstrap -----------------------------------------------
+
+    def export_snapshot(self, *, now: float,
+                        keep_recent_seconds: float = 60.0,
+                        min_weight_to_prune: int = 5) -> "NodeSnapshot":
+        """Capture this node's state as a :class:`~repro.nodes.snapshot.
+        NodeSnapshot`: the pruned tangle plus ACL, ledger and credit
+        state — storage control for this node, bootstrap artifact for a
+        new one."""
+        from ..tangle.snapshot import take_snapshot
+        from .snapshot import NodeSnapshot
+
+        tangle_snapshot = take_snapshot(
+            self.tangle, now=now,
+            keep_recent_seconds=keep_recent_seconds,
+            min_weight_to_prune=min_weight_to_prune,
+        )
+        return NodeSnapshot(
+            tangle=tangle_snapshot,
+            acl_state=self.acl.export_state(),
+            ledger_state=self.ledger.export_state(),
+            credit_state=self.consensus.registry.export_state(now=now),
+            created_at=now,
+        )
+
+    def adopt_snapshot(self, snapshot: "NodeSnapshot") -> None:
+        """Replace this node's ledger state with *snapshot* (storage
+        reclamation on a live node, or the second half of bootstrap).
+
+        Behaviour observed in the snapshot's history is final: the
+        credit horizon is advanced so re-ingesting pre-snapshot
+        transactions (e.g. via sync) cannot double-count credit.
+        """
+        validators = self.tangle._validators
+        self.tangle = snapshot.tangle.restore(track_cumulative_weight=True)
+        for validator in validators:
+            self.tangle.add_validator(validator)
+        self.acl.import_state(snapshot.acl_state)
+        self.ledger.import_state(snapshot.ledger_state)
+        self.consensus.registry.import_state(snapshot.credit_state)
+        self.consensus.registry.set_weight_provider(self.tangle.weight)
+        self.credit_horizon = snapshot.created_at
+        self.relay.mark_seen(snapshot.tangle.genesis.tx_hash)
+        for tx, _ in snapshot.tangle.retained:
+            self.relay.mark_seen(tx.tx_hash)
+
+    @classmethod
+    def bootstrap_from_snapshot(cls, address: str, snapshot: "NodeSnapshot",
+                                **kwargs) -> "FullNode":
+        """Build a brand-new gateway from a peer's :class:`~repro.nodes.
+        snapshot.NodeSnapshot`.
+
+        The newcomer starts with the snapshot's DAG region and the full
+        derived state (who is authorised, who owns what, who behaved
+        how), then anti-entropy sync fills whatever arrived after the
+        snapshot was taken.
+        """
+        node = cls(address, snapshot.tangle.genesis, **kwargs)
+        node.adopt_snapshot(snapshot)
+        return node
+
+    def _check_admission(self, tx: Transaction) -> Optional[str]:
+        """Stateful admission policy for directly submitted transactions.
+
+        Gateways "only process transactions from legal sensors that are
+        authorized by the manager" and assign the credit-required PoW
+        difficulty — both checks belong at the service boundary, where
+        this gateway's own state is authoritative for its own clients.
+        Gossip and sync traffic skips them: the admitting peer already
+        applied policy, and re-judging with *different local knowledge*
+        (a malice report still in flight, a pruned credit window) would
+        desynchronise the replicas.
+
+        Transactions at or before the credit horizon are settled history
+        vouched for by an adopted snapshot and are never re-judged.
+        Returns an error string, or None when admitted.
+        """
+        if tx.timestamp <= self.credit_horizon:
+            return None
+        try:
+            self.acl.validator(self.tangle, tx)
+            self.consensus.validator(self.tangle, tx)
+        except ValidationError as exc:
+            self.stats.count_rejection(exc)
+            return str(exc)
+        return None
+
+    # -- message handling ----------------------------------------------------
+
+    def handle_message(self, message: Message) -> None:
+        handler = {
+            "get_tips_request": self._handle_get_tips,
+            "submit_transaction": self._handle_submit,
+            "gossip_transaction": self._handle_gossip,
+            "sync_request": self._handle_sync_request,
+            "sync_response": self._handle_sync_response,
+        }.get(message.kind)
+        if handler is None:
+            return  # unknown kinds are dropped silently (open network)
+        try:
+            handler(message)
+        except (ValueError, KeyError, TypeError) as exc:
+            # A malformed message from the open network must never take
+            # the gateway down — count it and move on.
+            self.stats.malformed_messages += 1
+            self.stats.rejection_reasons.setdefault("malformed", 0)
+            self.stats.rejection_reasons["malformed"] += 1
+
+    def _now(self) -> float:
+        if self.network is None:
+            return 0.0
+        return self.network.scheduler.clock.now()
+
+    def _handle_get_tips(self, message: Message) -> None:
+        body = message.body
+        issuer_node_id = body["node_id"]
+        if not self.acl.is_authorized(issuer_node_id):
+            self.stats.unauthorized_rejected += 1
+            self.send(message.sender, "get_tips_response", {
+                "request_id": body.get("request_id"),
+                "ok": False,
+                "error": "unauthorized",
+            })
+            return
+        branch, trunk = self.tip_selector.select(self.tangle, self.rng)
+        difficulty = self.consensus.required_difficulty(issuer_node_id, self._now())
+        self.stats.tips_served += 1
+        self.send(message.sender, "get_tips_response", {
+            "request_id": body.get("request_id"),
+            "ok": True,
+            "branch": branch,
+            "trunk": trunk,
+            "difficulty": difficulty,
+        })
+
+    def _handle_submit(self, message: Message) -> None:
+        tx = Transaction.from_bytes(message.body["transaction"])
+        ok, error = self._ingest(tx, source=None, admit=True)
+        if ok:
+            self.stats.submissions_accepted += 1
+        else:
+            self.stats.submissions_rejected += 1
+        self.send(message.sender, "submit_response", {
+            "request_id": message.body.get("request_id"),
+            "ok": ok,
+            "error": error,
+            "tx_hash": tx.tx_hash,
+        })
+
+    def _handle_gossip(self, message: Message) -> None:
+        tx = Transaction.from_bytes(message.body["transaction"])
+        self._ingest(tx, source=message.sender, admit=False)
+
+    # -- anti-entropy sync -------------------------------------------------
+
+    def request_sync(self, peer: str) -> bool:
+        """Ask *peer* for everything we are missing.
+
+        Used by a gateway rejoining after a crash or partition: gossip
+        is fire-and-forget, so anything flooded while we were down is
+        gone unless explicitly reconciled.
+        """
+        known = [tx.tx_hash for tx in self.tangle]
+        return self.send(peer, "sync_request", {"known": known},
+                         size_bytes=32 * len(known))
+
+    def _handle_sync_request(self, message: Message) -> None:
+        known = set(message.body.get("known", ()))
+        missing = [
+            tx.to_bytes() for tx in self.tangle  # arrival order: parents first
+            if tx.tx_hash not in known and not tx.is_genesis
+        ]
+        self.stats.sync_requests_served += 1
+        self.stats.sync_transactions_sent += len(missing)
+        self.send(message.sender, "sync_response", {"transactions": missing},
+                  size_bytes=sum(len(m) for m in missing))
+
+    def _handle_sync_response(self, message: Message) -> None:
+        for encoded in message.body.get("transactions", ()):
+            try:
+                tx = Transaction.from_bytes(encoded)
+            except ValueError:
+                continue  # a corrupt entry must not poison the batch
+            ok, _ = self._ingest(tx, source=message.sender, admit=False)
+            if ok:
+                self.stats.sync_transactions_received += 1
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest_local(self, tx: Transaction) -> bool:
+        """Attach a locally created transaction (manager/gateway own
+        traffic) and gossip it."""
+        ok, _ = self._ingest(tx, source=None, admit=True)
+        return ok
+
+    def _ingest(self, tx: Transaction, *, source: Optional[str],
+                admit: bool) -> tuple:
+        """Shared attach path for submissions, gossip and local issues.
+
+        *admit* runs the stateful admission policy (ACL + credit
+        difficulty) — True on the service boundary (submissions, local
+        issues), False for peer traffic (gossip, sync, solidification
+        releases of peer traffic).  Returns ``(ok, error_string)``.
+        """
+        if self.relay.has_seen(tx.tx_hash) and tx.tx_hash in self.tangle:
+            if source is not None:
+                self.stats.gossip_duplicates += 1
+            return False, "duplicate"
+        if admit:
+            admission_error = self._check_admission(tx)
+            if admission_error is not None:
+                return False, admission_error
+        now = self._now()
+        try:
+            result = self.tangle.attach(tx, arrival_time=now)
+        except UnknownParentError:
+            missing = [p for p in (tx.branch, tx.trunk) if p not in self.tangle]
+            self.solidification.park(tx.tx_hash, (tx, admit), missing)
+            self.stats.gossip_parked += 1
+            return False, "parked-missing-parent"
+        except DuplicateTransactionError:
+            self.stats.gossip_duplicates += 1
+            return False, "duplicate"
+        except ValidationError as exc:
+            self.stats.count_rejection(exc)
+            return False, str(exc)
+
+        if tx.timestamp > self.credit_horizon:
+            self.consensus.observe_attach(result)
+        error = self._apply_side_effects(tx, now)
+        self.relay.mark_seen(tx.tx_hash)
+        if source is not None:
+            self.stats.gossip_accepted += 1
+        self._flood(tx, exclude=source)
+        self._release_solid_children(tx)
+        if error is not None:
+            return False, error
+        return True, None
+
+    def _apply_side_effects(self, tx: Transaction, now: float) -> Optional[str]:
+        """Post-attach state updates; returns an error string when the
+        transaction attached but its *effect* was voided (conflicts)."""
+        if tx.kind == TransactionKind.TRANSFER:
+            try:
+                outcome = self.ledger.apply_or_conflict(tx, now=now)
+            except ValidationError as exc:
+                self.stats.count_rejection(exc)
+                return str(exc)
+            if outcome in ("conflict-rejected", "conflict-replaced"):
+                self.stats.double_spends_detected += 1
+                # Attribute at the ledger timestamp so every replica
+                # derives the same credit penalty for the same conflict.
+                self.consensus.report_double_spend(tx.issuer.node_id,
+                                                   tx.timestamp)
+                return "double-spend conflict (transfer canceled)"
+            if outcome == "insufficient":
+                return "insufficient funds (transfer void)"
+        elif tx.kind == TransactionKind.ACL:
+            self.acl.apply(tx)
+        elif tx.kind == TransactionKind.DATA:
+            self._screen_data_quality(tx)
+        return None
+
+    def _screen_data_quality(self, tx: Transaction) -> None:
+        """Optional quality control over plaintext readings (the data
+        transaction still stands; bad data costs credit, not attach)."""
+        if self.quality_monitor is None:
+            return
+        from ..core.authority import DataProtector
+        from ..core.quality import BAD_DATA_BEHAVIOUR
+        from ..devices.sensors import SensorReading
+        if DataProtector.is_encrypted(tx.payload):
+            return  # opaque by design; key holders screen these
+        if not tx.payload or tx.payload[0] != 0x00:
+            return  # not a protector-framed payload
+        try:
+            reading = SensorReading.from_bytes(tx.payload[1:])
+        except ValueError:
+            return  # free-form data payloads are not screened
+        verdict = self.quality_monitor.assess(tx.issuer.node_id, reading)
+        if not verdict.ok:
+            self.consensus.registry.record_malicious(
+                tx.issuer.node_id, BAD_DATA_BEHAVIOUR, tx.timestamp)
+
+    def _flood(self, tx: Transaction, *, exclude: Optional[str]) -> None:
+        encoded = tx.to_bytes()
+        for peer in self.relay.relay_targets(tx.tx_hash, exclude=exclude):
+            self.send(peer, "gossip_transaction", {"transaction": encoded},
+                      size_bytes=len(encoded))
+
+    def _release_solid_children(self, tx: Transaction) -> None:
+        for _, (parked_tx, admit) in self.solidification.satisfy(tx.tx_hash):
+            self._ingest(parked_tx, source=None, admit=admit)
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def tangle_size(self) -> int:
+        return len(self.tangle)
+
+    def confirmed_count(self, threshold: int) -> int:
+        """Transactions whose cumulative weight reached *threshold*."""
+        return sum(
+            1 for tx in self.tangle
+            if self.tangle.is_confirmed(tx.tx_hash, threshold)
+        )

@@ -1,0 +1,188 @@
+"""The manager — Section IV-A.3.
+
+"Manager is a specific full node, which is responsible for managing IoT
+devices in a smart factory.  The public key of the manager will be
+hard-coded into genesis config of blockchain, which means only the
+manager has the rights to publish or update the authorization list of
+devices."
+
+:class:`ManagerNode` extends :class:`~repro.nodes.full_node.FullNode`
+with the three manager duties of the Fig. 6 workflow:
+
+1. create the genesis configuration (trust anchor);
+2. authorise/deauthorise devices and register gateways by posting ACL
+   transactions (Eqn. 1);
+3. drive the Fig. 4 key-distribution handshakes with devices that
+   collect sensitive data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.acl import AclAction, AuthorizationList, GenesisConfig, Role
+from ..core.authority import KeyDistributionError, ManagerKeyDistributor
+from ..crypto.keys import KeyPair, PublicIdentity
+from ..network.transport import Message
+from ..pow.engine import PowEngine
+from ..tangle.transaction import Transaction, TransactionKind
+from .full_node import FullNode
+
+__all__ = ["ManagerNode"]
+
+
+class ManagerNode(FullNode):
+    """The trusted management full node.
+
+    Besides everything a gateway does, the manager issues ACL updates
+    and distributes symmetric group keys.  Construct the shared genesis
+    with :meth:`create_genesis`, then instantiate every full node
+    (including the manager itself) from it.
+    """
+
+    def __init__(self, address: str, keypair: KeyPair, genesis: Transaction,
+                 **kwargs):
+        super().__init__(address, genesis, **kwargs)
+        config = GenesisConfig.from_genesis(genesis)
+        manager_ids = {identity.node_id for identity in config.all_managers}
+        if keypair.node_id not in manager_ids:
+            raise ValueError(
+                "manager keypair does not match the genesis trust anchor"
+            )
+        self.keypair = keypair
+        self.distributor = ManagerKeyDistributor(keypair)
+        self._keydist_sessions: Dict[bytes, str] = {}  # session id -> device addr
+        self.engine: Optional[PowEngine] = None
+
+    # -- genesis -----------------------------------------------------------
+
+    @staticmethod
+    def create_genesis(keypair: KeyPair, *, network_name: str = "b-iot",
+                       token_allocations: Iterable[Tuple[bytes, int]] = (),
+                       extra_managers: Iterable[PublicIdentity] = (),
+                       timestamp: float = 0.0) -> Transaction:
+        """Create the genesis transaction embedding the manager public
+        key(s) and optional initial token balances.
+
+        *extra_managers* federates several factories' managers onto one
+        ledger (Section IV-A permits "one or more managers").
+        """
+        config = GenesisConfig(
+            manager=keypair.public,
+            network_name=network_name,
+            token_allocations=tuple(token_allocations),
+            extra_managers=tuple(extra_managers),
+        )
+        return Transaction.create_genesis(
+            keypair, payload=config.to_bytes(), timestamp=timestamp
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self, network) -> None:
+        super().bind(network)
+        self.engine = PowEngine(
+            self.profile, network.scheduler.clock,
+            rng=self.rng, advance_clock=False,
+        )
+
+    def _issue_transaction(self, kind: str, payload: bytes) -> Transaction:
+        """Create, seal and locally ingest a manager transaction.
+
+        The manager follows the same tangle rules as everyone: select
+        two tips, solve PoW at its credit-assigned difficulty, sign.
+        """
+        branch, trunk = self.tip_selector.select(self.tangle, self.rng)
+        now = self._now()
+        difficulty = self.consensus.required_difficulty(self.keypair.node_id, now)
+        draft = Transaction(
+            kind=kind,
+            issuer=self.keypair.public,
+            payload=payload,
+            timestamp=now,
+            branch=branch,
+            trunk=trunk,
+            difficulty=difficulty,
+            nonce=0,
+            signature=b"",
+        )
+        if self.engine is not None:
+            result = self.engine.solve(draft.pow_challenge, difficulty)
+            nonce = result.proof.nonce
+        else:
+            nonce = None
+        tx = Transaction.create(
+            self.keypair,
+            kind=kind,
+            payload=payload,
+            timestamp=now,
+            branch=branch,
+            trunk=trunk,
+            difficulty=difficulty,
+            nonce=nonce,
+        )
+        self.ingest_local(tx)
+        return tx
+
+    # -- device management (workflow steps 1-2) -------------------------------
+
+    def register_gateways(self, identities: Iterable[PublicIdentity]) -> Transaction:
+        """Record gateway identifiers on the ledger (workflow step 1)."""
+        payload = AuthorizationList.make_update(
+            identities, action=AclAction.AUTHORIZE, role=Role.GATEWAY
+        )
+        return self._issue_transaction(TransactionKind.ACL, payload.to_bytes())
+
+    def authorize_devices(self, identities: Iterable[PublicIdentity]) -> Transaction:
+        """Publish an authorisation-list update (Eqn. 1, workflow step 2)."""
+        payload = AuthorizationList.make_update(
+            identities, action=AclAction.AUTHORIZE, role=Role.DEVICE
+        )
+        return self._issue_transaction(TransactionKind.ACL, payload.to_bytes())
+
+    def deauthorize_devices(self, identities: Iterable[PublicIdentity]) -> Transaction:
+        """Revoke devices; gateways stop serving them at once."""
+        payload = AuthorizationList.make_update(
+            identities, action=AclAction.DEAUTHORIZE, role=Role.DEVICE
+        )
+        return self._issue_transaction(TransactionKind.ACL, payload.to_bytes())
+
+    # -- key distribution (workflow step 3) ------------------------------------
+
+    def distribute_key(self, device_address: str, device: PublicIdentity, *,
+                       group: str = "sensitive") -> None:
+        """Start the Fig. 4 handshake with one device."""
+        session_id, m1 = self.distributor.initiate(
+            device, now=self._now(), group=group
+        )
+        self._keydist_sessions[session_id] = device_address
+        self.send(device_address, "keydist_m1", {
+            "session_id": session_id,
+            "m1": m1,
+        }, size_bytes=len(m1))
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "keydist_m2":
+            try:
+                self._handle_keydist_m2(message)
+            except (ValueError, KeyError, TypeError):
+                self.stats.malformed_messages += 1
+            return
+        super().handle_message(message)
+
+    def _handle_keydist_m2(self, message: Message) -> None:
+        session_id = message.body.get("session_id")
+        device_address = self._keydist_sessions.get(session_id)
+        if device_address is None or device_address != message.sender:
+            return
+        try:
+            m3 = self.distributor.handle_m2(
+                session_id, message.body["m2"], now=self._now()
+            )
+        except KeyDistributionError:
+            return  # forged/stale response: abandon the session
+        self.send(device_address, "keydist_m3", {"m3": m3}, size_bytes=len(m3))
+
+    def key_distribution_complete(self, device_count: int) -> bool:
+        """Whether at least *device_count* handshakes have completed."""
+        return self.distributor.completed_distributions >= device_count

@@ -1,0 +1,33 @@
+"""Proof-of-work substrate: hashcash puzzles and device-charged solving.
+
+* :mod:`~repro.pow.hashcash` — Eqn. 6 challenge construction, solver,
+  verifier, and geometric attempt sampling;
+* :mod:`~repro.pow.engine` — per-device execution with simulated-time
+  accounting (the Raspberry Pi substitution point).
+"""
+
+from .engine import DEFAULT_REAL_DIFFICULTY_LIMIT, PowEngine, PowResult
+from .hashcash import (
+    MAX_DIFFICULTY,
+    MIN_DIFFICULTY,
+    NONCE_SIZE,
+    ProofOfWork,
+    pow_challenge,
+    sample_attempts,
+    solve,
+    verify,
+)
+
+__all__ = [
+    "MIN_DIFFICULTY",
+    "MAX_DIFFICULTY",
+    "NONCE_SIZE",
+    "ProofOfWork",
+    "pow_challenge",
+    "solve",
+    "verify",
+    "sample_attempts",
+    "PowEngine",
+    "PowResult",
+    "DEFAULT_REAL_DIFFICULTY_LIMIT",
+]

@@ -1,0 +1,128 @@
+"""Hashcash-style proof-of-work (Eqn. 6 of the paper).
+
+A new tangle transaction must bundle with the two tips it approves by
+finding a nonce such that::
+
+    output = hash{ hash(TX1) || hash(TX2) || nonce }
+
+has at least ``D`` leading zero bits, where ``D`` is the difficulty the
+credit-based mechanism assigns to the issuing node.  We additionally
+bind the digest of the new transaction's own body into the challenge so
+the proof cannot be replayed onto different content (the paper's
+equation leaves this implicit; IOTA binds the full bundle).
+
+The hash is double SHA-256 and difficulty counts leading zero *bits*,
+so the expected number of attempts at difficulty ``D`` is ``2^D``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..crypto.hashing import double_sha256, hash_concat, leading_zero_bits
+
+__all__ = [
+    "MIN_DIFFICULTY",
+    "MAX_DIFFICULTY",
+    "NONCE_SIZE",
+    "ProofOfWork",
+    "pow_challenge",
+    "solve",
+    "verify",
+    "sample_attempts",
+]
+
+MIN_DIFFICULTY = 1
+"""Smallest difficulty the paper sweeps (Fig. 7)."""
+
+MAX_DIFFICULTY = 256
+"""Upper bound: a SHA-256 digest cannot have more leading zero bits."""
+
+NONCE_SIZE = 8
+"""Nonce width in bytes."""
+
+
+@dataclass(frozen=True)
+class ProofOfWork:
+    """A solved (or sampled) proof of work.
+
+    Attributes:
+        nonce: the nonce value satisfying the target (0 when sampled).
+        attempts: how many hash evaluations were (or would be) spent.
+        difficulty: the leading-zero-bit requirement that was met.
+        simulated: True when the solution was *sampled* (attempt count
+            drawn from the geometric distribution) rather than computed;
+            sampled proofs carry no verifiable nonce and are only valid
+            inside pure-simulation experiments.
+    """
+
+    nonce: int
+    attempts: int
+    difficulty: int
+    simulated: bool = False
+
+
+def pow_challenge(parent1_hash: bytes, parent2_hash: bytes,
+                  body_digest: bytes) -> bytes:
+    """Build the PoW challenge binding both approved tips and the body."""
+    return hash_concat(parent1_hash, parent2_hash, body_digest)
+
+
+def _check_difficulty(difficulty: int) -> None:
+    if not MIN_DIFFICULTY <= difficulty <= MAX_DIFFICULTY:
+        raise ValueError(
+            f"difficulty must be in [{MIN_DIFFICULTY}, {MAX_DIFFICULTY}], got {difficulty}"
+        )
+
+
+def solve(challenge: bytes, difficulty: int, *, start_nonce: int = 0,
+          max_attempts: int = None) -> ProofOfWork:
+    """Find a nonce whose digest meets *difficulty* leading zero bits.
+
+    Iterates nonces from *start_nonce*; raises ``RuntimeError`` if
+    *max_attempts* is exhausted first (used by DDoS/time-out tests).
+    """
+    _check_difficulty(difficulty)
+    attempts = 0
+    nonce = start_nonce
+    while True:
+        attempts += 1
+        digest = double_sha256(challenge + (nonce % 2 ** 64).to_bytes(NONCE_SIZE, "big"))
+        if leading_zero_bits(digest) >= difficulty:
+            return ProofOfWork(nonce=nonce % 2 ** 64, attempts=attempts,
+                               difficulty=difficulty)
+        if max_attempts is not None and attempts >= max_attempts:
+            raise RuntimeError(
+                f"PoW at difficulty {difficulty} unsolved after {attempts} attempts"
+            )
+        nonce += 1
+
+
+def verify(challenge: bytes, nonce: int, difficulty: int) -> bool:
+    """Check that (*challenge*, *nonce*) meets *difficulty*."""
+    if not MIN_DIFFICULTY <= difficulty <= MAX_DIFFICULTY:
+        return False
+    if not 0 <= nonce < 2 ** 64:
+        return False
+    digest = double_sha256(challenge + nonce.to_bytes(NONCE_SIZE, "big"))
+    return leading_zero_bits(digest) >= difficulty
+
+
+def sample_attempts(difficulty: int, rng: random.Random) -> int:
+    """Draw an attempt count from the true PoW distribution.
+
+    The number of tries to first success with per-try probability
+    ``p = 2^-D`` is geometric; sampling it lets experiments model
+    difficulties that would be too slow to actually grind, while
+    preserving the (large) variance that makes single-run paper numbers
+    noisy.
+    """
+    _check_difficulty(difficulty)
+    success_probability = 2.0 ** -difficulty
+    # Inverse-CDF sampling of the geometric distribution.
+    uniform = rng.random()
+    while uniform <= 0.0:  # guard against random() == 0.0
+        uniform = rng.random()
+    return max(1, math.ceil(math.log(uniform) / math.log(1.0 - success_probability)))

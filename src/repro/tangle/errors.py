@@ -1,0 +1,73 @@
+"""Exception hierarchy for ledger validation.
+
+Every reason a transaction can be rejected has its own exception type so
+tests, gateways and the credit system can react to the *specific*
+failure (e.g. a :class:`DoubleSpendError` triggers the αd punishment,
+an :class:`UnauthorizedIssuerError` is simply dropped by gateways).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TangleError",
+    "ValidationError",
+    "UnknownParentError",
+    "DuplicateTransactionError",
+    "InvalidPowError",
+    "InvalidSignatureError",
+    "TimestampError",
+    "SelfApprovalError",
+    "MalformedPayloadError",
+    "UnauthorizedIssuerError",
+    "DoubleSpendError",
+    "InsufficientFundsError",
+]
+
+
+class TangleError(Exception):
+    """Base class for all ledger errors."""
+
+
+class ValidationError(TangleError):
+    """A transaction failed validation and must not be attached."""
+
+
+class UnknownParentError(ValidationError):
+    """The transaction approves a parent the tangle has never seen."""
+
+
+class DuplicateTransactionError(ValidationError):
+    """The transaction hash is already attached."""
+
+
+class InvalidPowError(ValidationError):
+    """The nonce does not satisfy the declared difficulty."""
+
+
+class InvalidSignatureError(ValidationError):
+    """The issuer's signature does not verify."""
+
+
+class TimestampError(ValidationError):
+    """The timestamp is outside the acceptable window."""
+
+
+class SelfApprovalError(ValidationError):
+    """The transaction lists itself (or the same parent twice when
+    forbidden) as an approval target."""
+
+
+class MalformedPayloadError(ValidationError):
+    """The payload cannot be decoded for the declared kind."""
+
+
+class UnauthorizedIssuerError(ValidationError):
+    """The issuer is not on the manager's authorisation list."""
+
+
+class DoubleSpendError(ValidationError):
+    """A transfer reuses an already-spent (account, sequence) slot."""
+
+
+class InsufficientFundsError(ValidationError):
+    """A transfer exceeds the sender's available balance."""

@@ -1,0 +1,312 @@
+"""The tangle: a DAG-structured distributed ledger.
+
+Implements the structure of Section II-B: transactions are vertices,
+each approving two earlier transactions; unapproved transactions are
+*tips*; a transaction's *weight* ("proportional to the number of
+validation[s] for the transaction") is its cumulative weight — itself
+plus every transaction that directly or indirectly approves it.  The
+larger the weight, the harder the transaction is to tamper with —
+the DAG analogue of Bitcoin's six-block security.
+
+The class is a pure data structure: cryptographic and semantic checks
+are composed in as validator callables (see
+:mod:`repro.tangle.validation`), so a bare ``Tangle`` can be used for
+structural experiments while the full B-IoT stack layers ACL and ledger
+rules on top.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from .errors import (
+    DuplicateTransactionError,
+    UnknownParentError,
+    ValidationError,
+)
+from .transaction import Transaction, ZERO_HASH
+
+__all__ = ["Tangle", "AttachResult", "Validator"]
+
+Validator = Callable[["Tangle", Transaction], None]
+"""A validation hook: raise :class:`ValidationError` to reject."""
+
+
+@dataclass(frozen=True)
+class AttachResult:
+    """What the tangle observed while attaching one transaction.
+
+    The credit system consumes these observations: ``parents_were_tips``
+    reveals whether the approved targets were still unapproved, and
+    ``parent_ages`` how stale they were.
+
+    ``parent_ages`` is computed from *ledger timestamps*
+    (``tx.timestamp - parent.timestamp``), not local arrival times, so
+    every replica derives the identical value for the same transaction —
+    a prerequisite for replicas to agree on credit, and therefore on the
+    required PoW difficulty.
+    """
+
+    transaction: Transaction
+    arrival_time: float
+    parents_were_tips: Tuple[bool, bool]
+    parent_ages: Tuple[float, float]
+    new_tip_count: int
+
+    @property
+    def approved_fresh_tips(self) -> bool:
+        """True when both approved parents were still unapproved tips."""
+        return all(self.parents_were_tips)
+
+
+class Tangle:
+    """In-memory DAG ledger seeded by a genesis transaction.
+
+    Args:
+        genesis: the root transaction (``branch == trunk == ZERO_HASH``).
+        validators: extra validation hooks run before structural attach
+            (ACL checks, ledger conflict rules, PoW policy, ...).
+        track_cumulative_weight: maintain exact cumulative weights on
+            every attach (O(ancestors) per attach).  Disable for very
+            large throughput sweeps that only need tip statistics.
+        entry_points: hashes of *pruned* transactions (mapped to their
+            original timestamps) that may still be referenced as
+            parents — the local-snapshot mechanism
+            (:mod:`repro.tangle.snapshot`).  An entry point satisfies
+            parent lookups but carries no content and is never a tip.
+    """
+
+    def __init__(self, genesis: Transaction, *,
+                 validators: Optional[List[Validator]] = None,
+                 track_cumulative_weight: bool = True,
+                 entry_points: Optional[Dict[bytes, float]] = None):
+        if not genesis.is_genesis:
+            raise ValueError("tangle must be seeded with a genesis transaction")
+        if genesis.branch != ZERO_HASH or genesis.trunk != ZERO_HASH:
+            raise ValueError("genesis parents must be the zero hash")
+        self._validators: List[Validator] = list(validators or [])
+        self._track_weight = track_cumulative_weight
+        self._entry_points: Dict[bytes, float] = dict(entry_points or {})
+
+        self._transactions: Dict[bytes, Transaction] = {}
+        self._approvers: Dict[bytes, Set[bytes]] = {}
+        self._tips: Set[bytes] = set()
+        self._arrival_time: Dict[bytes, float] = {}
+        self._height: Dict[bytes, int] = {}
+        self._cumulative_weight: Dict[bytes, int] = {}
+        self._order: List[bytes] = []
+
+        self.genesis = genesis
+        self._insert(genesis, arrival_time=genesis.timestamp, parents=())
+
+    # -- validators ------------------------------------------------------
+
+    def add_validator(self, validator: Validator) -> None:
+        """Append a validation hook applied to all future attaches."""
+        self._validators.append(validator)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __contains__(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._transactions
+
+    def __iter__(self) -> Iterator[Transaction]:
+        """Iterate transactions in arrival order (genesis first)."""
+        return (self._transactions[h] for h in self._order)
+
+    def get(self, tx_hash: bytes) -> Transaction:
+        """Return the transaction for *tx_hash* (KeyError if unknown)."""
+        return self._transactions[tx_hash]
+
+    def is_entry_point(self, tx_hash: bytes) -> bool:
+        """Whether *tx_hash* is a pruned-history entry point."""
+        return tx_hash in self._entry_points
+
+    def entry_points(self) -> Dict[bytes, float]:
+        """The pruned-parent hashes this tangle accepts, with their
+        original timestamps."""
+        return dict(self._entry_points)
+
+    def tips(self) -> List[bytes]:
+        """Current tip hashes in deterministic (sorted) order."""
+        return sorted(self._tips)
+
+    def is_tip(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._tips
+
+    def retire_tip(self, tx_hash: bytes) -> None:
+        """Remove *tx_hash* from the tip pool without an approval.
+
+        Used by snapshot restoration: a transaction whose approvers were
+        all pruned must not be re-offered for approval (its burial is a
+        historical fact the snapshot preserves).
+        """
+        if tx_hash not in self._transactions:
+            raise KeyError(tx_hash)
+        self._tips.discard(tx_hash)
+
+    @property
+    def tip_count(self) -> int:
+        return len(self._tips)
+
+    def approvers(self, tx_hash: bytes) -> Set[bytes]:
+        """Direct approvers (children) of *tx_hash*."""
+        return set(self._approvers[tx_hash])
+
+    def parents(self, tx_hash: bytes) -> Tuple[bytes, ...]:
+        """The (branch, trunk) hashes of *tx_hash* (empty for genesis)."""
+        tx = self._transactions[tx_hash]
+        if tx.is_genesis:
+            return ()
+        return (tx.branch, tx.trunk)
+
+    def arrival_time(self, tx_hash: bytes) -> float:
+        return self._arrival_time[tx_hash]
+
+    def height(self, tx_hash: bytes) -> int:
+        """Longest path length from genesis to *tx_hash*."""
+        return self._height[tx_hash]
+
+    def weight(self, tx_hash: bytes) -> int:
+        """Cumulative weight: 1 + number of (in)direct approvers.
+
+        This is the paper's per-transaction *weight* metric ``w_k``.
+        """
+        if self._track_weight:
+            return self._cumulative_weight[tx_hash]
+        return self._compute_cumulative_weight(tx_hash)
+
+    def is_confirmed(self, tx_hash: bytes, threshold: int) -> bool:
+        """A transaction is confirmed once its weight reaches *threshold*
+        (the DAG analogue of six-block security)."""
+        return self.weight(tx_hash) >= threshold
+
+    def depth_from_tips(self, tx_hash: bytes) -> int:
+        """Shortest approval distance from any current tip (0 for tips)."""
+        if tx_hash in self._tips:
+            return 0
+        distance = {tx_hash: 0}
+        queue = deque([tx_hash])
+        best = None
+        while queue:
+            current = queue.popleft()
+            for child in self._approvers[current]:
+                if child in distance:
+                    continue
+                distance[child] = distance[current] + 1
+                if child in self._tips:
+                    child_distance = distance[child]
+                    best = child_distance if best is None else min(best, child_distance)
+                else:
+                    queue.append(child)
+        if best is None:
+            raise UnknownParentError(f"no tip reachable from {tx_hash.hex()[:8]}")
+        return best
+
+    def ancestors(self, tx_hash: bytes) -> Set[bytes]:
+        """All *retained* transactions (in)directly approved by
+        *tx_hash* (pruned entry points are not included)."""
+        seen: Set[bytes] = set()
+        queue = deque(self.parents(tx_hash))
+        while queue:
+            current = queue.popleft()
+            if current in seen or current not in self._transactions:
+                continue
+            seen.add(current)
+            queue.extend(self.parents(current))
+        return seen
+
+    def transactions_by_issuer(self, node_id: bytes) -> List[Transaction]:
+        """All attached transactions issued by *node_id*, arrival order."""
+        return [tx for tx in self if tx.issuer.node_id == node_id]
+
+    # -- attach ----------------------------------------------------------
+
+    def attach(self, tx: Transaction, *, arrival_time: Optional[float] = None) -> AttachResult:
+        """Validate and insert *tx*, returning attach observations.
+
+        Raises a :class:`~repro.tangle.errors.ValidationError` subclass
+        and leaves the tangle unmodified on any failure.
+        """
+        if tx.tx_hash in self._transactions:
+            raise DuplicateTransactionError(
+                f"transaction {tx.short_hash} already attached"
+            )
+        if tx.is_genesis:
+            raise ValidationError("a tangle has exactly one genesis")
+        for parent in (tx.branch, tx.trunk):
+            if (parent not in self._transactions
+                    and parent not in self._entry_points):
+                raise UnknownParentError(
+                    f"unknown parent {parent.hex()[:8]} for {tx.short_hash}"
+                )
+        for validator in self._validators:
+            validator(self, tx)
+
+        when = arrival_time if arrival_time is not None else tx.timestamp
+        parents = (tx.branch, tx.trunk)
+        parents_were_tips = tuple(p in self._tips for p in parents)
+        # Ledger-timestamp ages: identical on every replica.
+        parent_ages = tuple(
+            max(0.0, tx.timestamp - self._parent_timestamp(p))
+            for p in parents
+        )
+        self._insert(tx, arrival_time=when, parents=parents)
+        return AttachResult(
+            transaction=tx,
+            arrival_time=when,
+            parents_were_tips=parents_were_tips,  # type: ignore[arg-type]
+            parent_ages=parent_ages,  # type: ignore[arg-type]
+            new_tip_count=len(self._tips),
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _parent_timestamp(self, parent: bytes) -> float:
+        tx = self._transactions.get(parent)
+        if tx is not None:
+            return tx.timestamp
+        return self._entry_points[parent]
+
+    def _insert(self, tx: Transaction, *, arrival_time: float,
+                parents: Tuple[bytes, ...]) -> None:
+        tx_hash = tx.tx_hash
+        self._transactions[tx_hash] = tx
+        self._approvers[tx_hash] = set()
+        self._arrival_time[tx_hash] = arrival_time
+        self._order.append(tx_hash)
+        self._tips.add(tx_hash)
+        if parents:
+            # Entry points (pruned history) sit at height 0.
+            self._height[tx_hash] = 1 + max(
+                self._height.get(p, 0) for p in set(parents)
+            )
+        else:
+            self._height[tx_hash] = 0
+        for parent in set(parents):
+            if parent in self._entry_points:
+                continue  # pruned parents track no approvers
+            self._approvers[parent].add(tx_hash)
+            self._tips.discard(parent)
+        self._cumulative_weight[tx_hash] = 1
+        if self._track_weight and parents:
+            for ancestor in self.ancestors(tx_hash):
+                self._cumulative_weight[ancestor] += 1
+
+    def _compute_cumulative_weight(self, tx_hash: bytes) -> int:
+        if tx_hash not in self._transactions:
+            raise KeyError(tx_hash)
+        seen: Set[bytes] = {tx_hash}
+        queue = deque([tx_hash])
+        while queue:
+            current = queue.popleft()
+            for child in self._approvers[current]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        return len(seen)

@@ -1,0 +1,128 @@
+"""Tip-selection strategies.
+
+Before submitting, a node gets "two random tips to validate" (paper
+workflow step 4).  How those tips are chosen determines both throughput
+and attack resistance:
+
+* :class:`UniformRandomTipSelector` — the paper's baseline: pick two
+  unapproved transactions uniformly at random.
+* :class:`WeightedRandomWalkSelector` — the tangle's MCMC walk (Popov's
+  α-walk): start deep in the DAG and walk toward tips, biased by
+  cumulative weight.  Its bias against low-weight side branches is the
+  structural defence that makes lazy tips ineffective even before the
+  credit mechanism punishes them.
+* :class:`FixedPairTipSelector` — the *lazy tips* misbehaviour itself:
+  always approve one fixed, old pair (threat model, Section III).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from .tangle import Tangle
+
+__all__ = [
+    "TipSelector",
+    "UniformRandomTipSelector",
+    "WeightedRandomWalkSelector",
+    "FixedPairTipSelector",
+]
+
+
+class TipSelector:
+    """Strategy interface: choose the two transactions to approve."""
+
+    def select(self, tangle: Tangle, rng: random.Random) -> Tuple[bytes, bytes]:
+        """Return a (branch, trunk) pair of transaction hashes."""
+        raise NotImplementedError
+
+
+class UniformRandomTipSelector(TipSelector):
+    """Pick two tips uniformly at random (with replacement when only one
+    tip exists, e.g. right after genesis)."""
+
+    def select(self, tangle: Tangle, rng: random.Random) -> Tuple[bytes, bytes]:
+        tips = tangle.tips()
+        if not tips:
+            raise ValueError("tangle has no tips")
+        if len(tips) == 1:
+            return tips[0], tips[0]
+        branch, trunk = rng.sample(tips, 2)
+        return branch, trunk
+
+
+class WeightedRandomWalkSelector(TipSelector):
+    """Markov-chain random walk biased by cumulative weight.
+
+    From a starting transaction the walk repeatedly moves to one of the
+    current vertex's approvers, chosen with probability proportional to
+    ``exp(alpha * weight(child))``, until it reaches a tip.  ``alpha=0``
+    degenerates to an unweighted walk; larger values concentrate
+    approvals on the heavy "main tangle" and starve parasitic branches.
+
+    Args:
+        alpha: weight-bias exponent (IOTA uses values around 0.001–0.1
+            at mainnet weight scales; at our simulation scale 0.01–0.5
+            is reasonable).
+        start_depth: how many approval steps below the tips to start the
+            walk (walks start at genesis when the tangle is shallower).
+    """
+
+    def __init__(self, alpha: float = 0.05, start_depth: int = 20):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if start_depth < 1:
+            raise ValueError("start_depth must be >= 1")
+        self.alpha = alpha
+        self.start_depth = start_depth
+
+    def select(self, tangle: Tangle, rng: random.Random) -> Tuple[bytes, bytes]:
+        start = self._walk_entry_point(tangle)
+        branch = self._walk(tangle, start, rng)
+        trunk = self._walk(tangle, start, rng)
+        return branch, trunk
+
+    def _walk_entry_point(self, tangle: Tangle) -> bytes:
+        """Start from genesis; cheap and correct for simulation scales.
+
+        (Production tangles start from a recent milestone to bound walk
+        length; genesis keeps the walk exact and our tangles are small.)
+        """
+        return tangle.genesis.tx_hash
+
+    def _walk(self, tangle: Tangle, start: bytes, rng: random.Random) -> bytes:
+        current = start
+        while not tangle.is_tip(current):
+            children = sorted(tangle.approvers(current))
+            if not children:  # pragma: no cover - tips are caught above
+                return current
+            if len(children) == 1:
+                current = children[0]
+                continue
+            weights = [tangle.weight(child) for child in children]
+            top = max(weights)
+            # Subtract the max before exponentiating for numeric safety.
+            scores = [math.exp(self.alpha * (w - top)) for w in weights]
+            current = rng.choices(children, weights=scores, k=1)[0]
+        return current
+
+
+class FixedPairTipSelector(TipSelector):
+    """The lazy-tips misbehaviour: always approve the same old pair.
+
+    "A 'lazy' node could always verify a fixed pair of very old
+    transactions, while not contributing to the verification of more
+    recent transactions."  Used by the attack harness and the credit
+    mechanism's evaluation.
+    """
+
+    def __init__(self, branch: bytes, trunk: Optional[bytes] = None):
+        self.branch = branch
+        self.trunk = trunk if trunk is not None else branch
+
+    def select(self, tangle: Tangle, rng: random.Random) -> Tuple[bytes, bytes]:
+        if self.branch not in tangle or self.trunk not in tangle:
+            raise ValueError("fixed pair not present in tangle")
+        return self.branch, self.trunk

@@ -1,0 +1,257 @@
+"""Tangle transactions: the vertices of the DAG ledger.
+
+In a DAG-structured blockchain "each transaction is an individual node
+linked in the distributed ledger" (Section II-B).  A transaction here
+carries:
+
+* the issuer's :class:`~repro.crypto.keys.PublicIdentity`;
+* an opaque *payload* plus a *kind* tag (``data``, ``transfer``,
+  ``acl``, ``genesis``) that higher layers interpret;
+* the hashes of the two approved transactions (*branch* and *trunk* in
+  IOTA terminology);
+* the PoW *nonce* and *difficulty* solving Eqn. 6;
+* an Ed25519 *signature* over the transaction hash.
+
+Construction order matters and is enforced by :meth:`Transaction.create`:
+body → PoW challenge → nonce → transaction hash → signature.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto.hashing import DIGEST_SIZE, hash_concat
+from ..crypto.keys import KeyPair, PublicIdentity
+from ..pow import hashcash
+
+__all__ = [
+    "ZERO_HASH",
+    "TransactionKind",
+    "Transaction",
+    "GENESIS_KIND",
+]
+
+ZERO_HASH = b"\x00" * DIGEST_SIZE
+"""Parent reference used by the genesis transaction."""
+
+GENESIS_KIND = "genesis"
+
+
+class TransactionKind:
+    """Well-known payload kinds (free-form strings are also allowed)."""
+
+    GENESIS = GENESIS_KIND
+    DATA = "data"
+    TRANSFER = "transfer"
+    ACL = "acl"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable, signed, PoW-sealed tangle transaction."""
+
+    kind: str
+    issuer: PublicIdentity
+    payload: bytes
+    timestamp: float
+    branch: bytes
+    trunk: bytes
+    difficulty: int
+    nonce: int
+    signature: bytes
+
+    def __post_init__(self):
+        if len(self.branch) != DIGEST_SIZE or len(self.trunk) != DIGEST_SIZE:
+            raise ValueError("branch/trunk must be 32-byte transaction hashes")
+        if not self.kind:
+            raise ValueError("transaction kind must be non-empty")
+        if self.difficulty < hashcash.MIN_DIFFICULTY:
+            raise ValueError(f"difficulty must be >= {hashcash.MIN_DIFFICULTY}")
+        if not 0 <= self.nonce < 2 ** 64:
+            raise ValueError("nonce out of 64-bit range")
+
+    # -- digests ---------------------------------------------------------
+
+    @property
+    def body_digest(self) -> bytes:
+        """Digest of everything the PoW and signature must commit to,
+        except the nonce itself."""
+        return hash_concat(
+            self.kind.encode(),
+            self.issuer.to_bytes(),
+            self.payload,
+            struct.pack(">d", self.timestamp),
+            self.branch,
+            self.trunk,
+            struct.pack(">H", self.difficulty),
+        )
+
+    @property
+    def pow_challenge(self) -> bytes:
+        """The Eqn. 6 challenge: both parents plus the body digest."""
+        return hashcash.pow_challenge(self.branch, self.trunk, self.body_digest)
+
+    @property
+    def tx_hash(self) -> bytes:
+        """The DAG vertex identifier: body digest bound to the nonce."""
+        return hash_concat(self.body_digest, self.nonce.to_bytes(8, "big"))
+
+    @property
+    def short_hash(self) -> str:
+        return self.tx_hash.hex()[:8]
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.kind == GENESIS_KIND
+
+    # -- verification ----------------------------------------------------
+
+    def verify_pow(self) -> bool:
+        """Check the nonce satisfies the declared difficulty."""
+        return hashcash.verify(self.pow_challenge, self.nonce, self.difficulty)
+
+    def verify_signature(self) -> bool:
+        """Check the issuer's signature over the transaction hash."""
+        return self.issuer.verify(self.tx_hash, self.signature)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def create(cls, keypair: KeyPair, *, kind: str, payload: bytes,
+               timestamp: float, branch: bytes, trunk: bytes,
+               difficulty: int, nonce: Optional[int] = None) -> "Transaction":
+        """Build, PoW-seal and sign a transaction.
+
+        When *nonce* is None the PoW is actually solved here (convenient
+        for tests and small examples); system code that must account for
+        solve time uses :class:`~repro.pow.engine.PowEngine` and passes
+        the found nonce in.
+        """
+        unsigned = cls(
+            kind=kind,
+            issuer=keypair.public,
+            payload=bytes(payload),
+            timestamp=float(timestamp),
+            branch=bytes(branch),
+            trunk=bytes(trunk),
+            difficulty=int(difficulty),
+            nonce=0,
+            signature=b"",
+        )
+        if nonce is None:
+            proof = hashcash.solve(unsigned.pow_challenge, difficulty)
+            nonce = proof.nonce
+        sealed = cls(
+            kind=unsigned.kind,
+            issuer=unsigned.issuer,
+            payload=unsigned.payload,
+            timestamp=unsigned.timestamp,
+            branch=unsigned.branch,
+            trunk=unsigned.trunk,
+            difficulty=unsigned.difficulty,
+            nonce=int(nonce),
+            signature=b"",
+        )
+        signature = keypair.sign(sealed.tx_hash)
+        return cls(
+            kind=sealed.kind,
+            issuer=sealed.issuer,
+            payload=sealed.payload,
+            timestamp=sealed.timestamp,
+            branch=sealed.branch,
+            trunk=sealed.trunk,
+            difficulty=sealed.difficulty,
+            nonce=sealed.nonce,
+            signature=signature,
+        )
+
+    @classmethod
+    def create_genesis(cls, keypair: KeyPair, *, payload: bytes = b"",
+                       timestamp: float = 0.0) -> "Transaction":
+        """Create the genesis transaction (zero parents, difficulty 1).
+
+        The paper hard-codes the manager's public key "into genesis
+        config of blockchain"; callers put that configuration in
+        *payload* (see :mod:`repro.core.acl`).
+        """
+        return cls.create(
+            keypair,
+            kind=GENESIS_KIND,
+            payload=payload,
+            timestamp=timestamp,
+            branch=ZERO_HASH,
+            trunk=ZERO_HASH,
+            difficulty=hashcash.MIN_DIFFICULTY,
+        )
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Length-prefixed binary encoding (round-trips exactly)."""
+        kind_bytes = self.kind.encode()
+        parts = [
+            struct.pack(">H", len(kind_bytes)), kind_bytes,
+            self.issuer.to_bytes(),
+            struct.pack(">I", len(self.payload)), self.payload,
+            struct.pack(">d", self.timestamp),
+            self.branch,
+            self.trunk,
+            struct.pack(">H", self.difficulty),
+            struct.pack(">Q", self.nonce),
+            struct.pack(">H", len(self.signature)), self.signature,
+        ]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Transaction":
+        """Decode :meth:`to_bytes` output; raises ``ValueError`` on junk."""
+        try:
+            offset = 0
+            (kind_len,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            kind = data[offset: offset + kind_len].decode()
+            offset += kind_len
+            issuer = PublicIdentity.from_bytes(data[offset: offset + 64])
+            offset += 64
+            (payload_len,) = struct.unpack_from(">I", data, offset)
+            offset += 4
+            payload = data[offset: offset + payload_len]
+            if len(payload) != payload_len:
+                raise ValueError("truncated payload")
+            offset += payload_len
+            (timestamp,) = struct.unpack_from(">d", data, offset)
+            offset += 8
+            branch = data[offset: offset + DIGEST_SIZE]
+            offset += DIGEST_SIZE
+            trunk = data[offset: offset + DIGEST_SIZE]
+            offset += DIGEST_SIZE
+            (difficulty,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            (nonce,) = struct.unpack_from(">Q", data, offset)
+            offset += 8
+            (sig_len,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+            signature = data[offset: offset + sig_len]
+            if len(signature) != sig_len or offset + sig_len != len(data):
+                raise ValueError("truncated or oversized encoding")
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise ValueError(f"malformed transaction encoding: {exc}") from exc
+        return cls(
+            kind=kind,
+            issuer=issuer,
+            payload=payload,
+            timestamp=timestamp,
+            branch=branch,
+            trunk=trunk,
+            difficulty=difficulty,
+            nonce=nonce,
+            signature=signature,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction({self.kind!r}, {self.short_hash}, "
+            f"issuer={self.issuer.short_id}, t={self.timestamp:.3f})"
+        )

@@ -1,0 +1,109 @@
+"""Transaction validation hooks and misbehaviour detectors.
+
+The tangle itself only enforces structure (known parents, no
+duplicates).  Everything else composes in as validators:
+
+* :func:`crypto_validator` — PoW and signature verification plus a
+  minimum-difficulty floor (what every full node runs);
+* :func:`timestamp_validator` — reject far-future timestamps;
+* :func:`detect_lazy_approval` — classify an attach as lazy-tips
+  misbehaviour, the detector feeding the credit mechanism's αl penalty.
+"""
+
+from __future__ import annotations
+
+from .errors import (
+    InvalidPowError,
+    InvalidSignatureError,
+    SelfApprovalError,
+    TimestampError,
+)
+from .tangle import AttachResult, Tangle, Validator
+from .transaction import Transaction
+
+__all__ = [
+    "crypto_validator",
+    "timestamp_validator",
+    "detect_lazy_approval",
+    "DEFAULT_MAX_PARENT_AGE",
+]
+
+DEFAULT_MAX_PARENT_AGE = 30.0
+"""Parents older than this (seconds) mark an approval as lazy.  Matches
+the paper's ΔT=30 s activity window."""
+
+
+def crypto_validator(*, min_difficulty: int = 1,
+                     allow_simulated_pow: bool = False) -> Validator:
+    """Build a validator enforcing PoW and signature correctness.
+
+    Args:
+        min_difficulty: network-wide difficulty floor; transactions
+            declaring less are rejected regardless of their nonce.
+        allow_simulated_pow: pure-simulation experiments sample attempt
+            counts instead of grinding nonces, so their nonces do not
+            verify; set True only inside such experiments.
+    """
+
+    def validate(tangle: Tangle, tx: Transaction) -> None:
+        if tx.difficulty < min_difficulty:
+            raise InvalidPowError(
+                f"{tx.short_hash} declares difficulty {tx.difficulty} "
+                f"below the floor {min_difficulty}"
+            )
+        if not allow_simulated_pow and not tx.verify_pow():
+            raise InvalidPowError(f"{tx.short_hash} nonce fails difficulty "
+                                  f"{tx.difficulty}")
+        if not tx.verify_signature():
+            raise InvalidSignatureError(f"{tx.short_hash} signature invalid")
+        if tx.branch == tx.tx_hash or tx.trunk == tx.tx_hash:
+            raise SelfApprovalError(f"{tx.short_hash} approves itself")
+
+    return validate
+
+
+def timestamp_validator(*, max_future_skew: float = 5.0) -> Validator:
+    """Reject transactions whose timestamp precedes their parents or
+    leads the newest known transaction by more than *max_future_skew*.
+
+    DAG clocks are loose (arrival time is authoritative), but a sanity
+    window blocks trivially forged histories.
+    """
+
+    def validate(tangle: Tangle, tx: Transaction) -> None:
+        newest = max(tangle.arrival_time(h) for h in tangle.tips())
+        if tx.timestamp > newest + max_future_skew:
+            raise TimestampError(
+                f"{tx.short_hash} timestamp {tx.timestamp:.3f} is more than "
+                f"{max_future_skew}s ahead of the tangle ({newest:.3f})"
+            )
+        for parent in (tx.branch, tx.trunk):
+            if parent not in tangle:
+                continue  # pruned entry point: no content to compare
+            parent_tx = tangle.get(parent)
+            if tx.timestamp < parent_tx.timestamp:
+                raise TimestampError(
+                    f"{tx.short_hash} predates its parent {parent_tx.short_hash}"
+                )
+
+    return validate
+
+
+def detect_lazy_approval(result: AttachResult, *,
+                         max_parent_age: float = DEFAULT_MAX_PARENT_AGE) -> bool:
+    """Classify one attach as lazy-tips misbehaviour.
+
+    The paper's lazy node "could always verify a fixed pair of very old
+    transactions, while not contributing to the verification of more
+    recent transactions" — the detector is therefore *age-based*: an
+    approval is lazy when an approved parent is older than
+    *max_parent_age* seconds at attach time.
+
+    It deliberately does NOT flag approvals of transactions that merely
+    stopped being tips moments ago: under concurrent honest traffic two
+    devices regularly pick the same fresh tips (the second one's parents
+    are no longer tips on arrival), and punishing that would penalise
+    honest concurrency.  Freshly approved parents are young, so the age
+    test is immune to that race.
+    """
+    return any(age > max_parent_age for age in result.parent_ages)

@@ -1,0 +1,113 @@
+"""Tests for repro.analysis.figures (the per-figure experiment drivers)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    PAPER_FIG7_ANCHORS,
+    PAPER_FIG9_MEANS,
+    PAPER_FIG10_ANCHORS,
+    fig7_pow_running_time,
+    fig8_credit_trace,
+    fig9_pow_comparison,
+    fig10_aes_timing,
+)
+from repro.devices.profiles import PC
+
+
+class TestFig7:
+    def test_covers_difficulties_1_to_14(self):
+        points = fig7_pow_running_time(samples_per_level=2)
+        assert [p.difficulty for p in points] == list(range(1, 15))
+
+    def test_expected_times_monotone(self):
+        points = fig7_pow_running_time(samples_per_level=1)
+        expected = [p.expected_seconds for p in points]
+        assert expected == sorted(expected)
+
+    def test_paper_anchors_attached(self):
+        points = fig7_pow_running_time(samples_per_level=1)
+        by_difficulty = {p.difficulty: p for p in points}
+        for difficulty, value in PAPER_FIG7_ANCHORS.items():
+            assert by_difficulty[difficulty].paper_seconds == value
+
+    def test_deterministic_given_seed(self):
+        a = fig7_pow_running_time(samples_per_level=3, seed=5)
+        b = fig7_pow_running_time(samples_per_level=3, seed=5)
+        assert [p.sampled_seconds for p in a] == [p.sampled_seconds for p in b]
+
+    def test_profile_override(self):
+        points = fig7_pow_running_time(samples_per_level=1, profile=PC)
+        # The PC is ~100x faster than the Pi at every difficulty.
+        assert points[-1].expected_seconds < 1.0
+
+
+class TestFig8:
+    def test_no_attack_trace_is_clean(self):
+        result = fig8_credit_trace(attack_times=())
+        assert result.minimum_credit >= 0.0
+        assert result.recovery_seconds is None
+        assert len(result.transaction_times) > 20
+
+    def test_attack_produces_cliff_and_gap(self):
+        result = fig8_credit_trace(attack_times=(24.0,))
+        assert result.minimum_credit < -10.0
+        assert result.longest_transaction_gap > 10.0
+
+    def test_credit_components_relation(self):
+        result = fig8_credit_trace(attack_times=(24.0,))
+        params_lambda2 = 0.5
+        for point in result.tracer.points:
+            assert point.credit == pytest.approx(
+                point.positive + params_lambda2 * point.negative)
+
+    def test_two_attacks_worse_than_one(self):
+        one = fig8_credit_trace(attack_times=(24.0,))
+        two = fig8_credit_trace(attack_times=(24.0, 60.0))
+        assert two.minimum_credit <= one.minimum_credit
+        assert len(two.transaction_times) <= len(one.transaction_times)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def regimes(self):
+        return {r.name: r for r in fig9_pow_comparison()}
+
+    def test_all_four_regimes_present(self, regimes):
+        assert set(regimes) == set(PAPER_FIG9_MEANS)
+
+    def test_paper_ordering(self, regimes):
+        assert (regimes["credit-normal"].mean_pow_seconds
+                < regimes["original-pow"].mean_pow_seconds
+                < regimes["credit-1-attack"].mean_pow_seconds
+                < regimes["credit-2-attacks"].mean_pow_seconds)
+
+    def test_within_2x_of_paper(self, regimes):
+        for name, regime in regimes.items():
+            ratio = regime.mean_pow_seconds / regime.paper_seconds
+            assert 0.5 < ratio < 2.0, (name, ratio)
+
+    def test_transactions_counted(self, regimes):
+        assert all(r.transactions > 0 for r in regimes.values())
+
+
+class TestFig10:
+    def test_sweep_range(self):
+        points = fig10_aes_timing(min_exponent=6, max_exponent=12)
+        assert points[0].message_bytes == 64
+        assert points[-1].message_bytes == 4096
+
+    def test_measured_times_positive_and_growing(self):
+        points = fig10_aes_timing(max_exponent=14)
+        assert all(p.measured_seconds > 0 for p in points)
+        assert points[-1].measured_seconds > points[0].measured_seconds
+
+    def test_model_matches_anchor_by_construction(self):
+        points = fig10_aes_timing(max_exponent=18)
+        at_256k = next(p for p in points if p.message_bytes == 2 ** 18)
+        assert at_256k.modelled_rpi_seconds == pytest.approx(
+            PAPER_FIG10_ANCHORS[2 ** 18], rel=0.02)
+
+    def test_paper_anchors_attached(self):
+        points = fig10_aes_timing(max_exponent=20)
+        with_paper = [p for p in points if p.paper_seconds is not None]
+        assert len(with_paper) == len(PAPER_FIG10_ANCHORS)

@@ -1,0 +1,46 @@
+"""Tests for repro.analysis.reporting (consolidated report)."""
+
+import pytest
+
+from repro.analysis.reporting import ShapeCheck, generate_report
+
+
+class TestShapeCheck:
+    def test_render_pass(self):
+        check = ShapeCheck("Fig. 7", "grows", True)
+        assert check.render() == "- [PASS] grows"
+
+    def test_render_fail(self):
+        check = ShapeCheck("Fig. 7", "grows", False)
+        assert "[FAIL]" in check.render()
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_contains_every_figure_section(self, report):
+        for heading in ("## Fig. 7", "## Fig. 8", "## Fig. 9", "## Fig. 10"):
+            assert heading in report
+
+    def test_all_shape_checks_pass(self, report):
+        assert "[FAIL]" not in report
+        assert "9/9 shape checks pass" in report
+
+    def test_paper_values_present(self, report):
+        assert "0.700" in report  # Fig. 9 original PoW paper value
+        assert "0.118" in report  # Fig. 9 credit-normal paper value
+
+    def test_is_markdown(self, report):
+        assert report.startswith("# B-IoT reproduction report")
+
+
+class TestReportCli:
+    def test_report_command(self, capsys, tmp_path):
+        from repro.cli import main
+        output = tmp_path / "report.md"
+        assert main(["report", "--output", str(output)]) == 0
+        printed = capsys.readouterr().out
+        assert "shape checks pass" in printed
+        assert output.read_text().startswith("# B-IoT reproduction report")

@@ -1,0 +1,97 @@
+"""Tests for repro.analysis.visualize."""
+
+import pytest
+
+from repro.analysis.visualize import chain_to_dot, tangle_summary, tangle_to_dot
+from repro.chain.block import Block
+from repro.chain.blockchain import Blockchain
+from repro.crypto.keys import KeyPair
+from repro.tangle.snapshot import take_snapshot
+from repro.tangle.tangle import Tangle
+from repro.tangle.transaction import Transaction
+
+KEYS = KeyPair.generate(seed=b"viz-tests")
+
+
+@pytest.fixture()
+def small_tangle():
+    genesis = Transaction.create_genesis(KEYS)
+    tangle = Tangle(genesis)
+    previous = genesis
+    for i in range(6):
+        tx = Transaction.create(
+            KEYS, kind="data", payload=f"v-{i}".encode(),
+            timestamp=float(i + 1), branch=previous.tx_hash,
+            trunk=previous.tx_hash, difficulty=1,
+        )
+        tangle.attach(tx, arrival_time=float(i + 1))
+        previous = tx
+    return tangle, previous
+
+
+class TestTangleToDot:
+    def test_valid_dot_structure(self, small_tangle):
+        tangle, _ = small_tangle
+        dot = tangle_to_dot(tangle)
+        assert dot.startswith("digraph tangle {")
+        assert dot.endswith("}")
+        assert dot.count("->") == 6  # one dedup'd edge per child
+
+    def test_tips_shaded_gray(self, small_tangle):
+        tangle, tip = small_tangle
+        dot = tangle_to_dot(tangle)
+        tip_line = next(line for line in dot.splitlines()
+                        if tip.tx_hash.hex()[:12] in line and "label" in line)
+        assert "gray80" in tip_line
+
+    def test_highlight_overrides(self, small_tangle):
+        tangle, tip = small_tangle
+        dot = tangle_to_dot(tangle, highlight={tip.tx_hash: "red"})
+        assert 'fillcolor="red"' in dot
+
+    def test_truncation(self, small_tangle):
+        tangle, _ = small_tangle
+        dot = tangle_to_dot(tangle, max_transactions=3)
+        node_lines = [l for l in dot.splitlines()
+                      if "label" in l and "pruned" not in l]
+        assert len(node_lines) == 3
+
+    def test_custom_label(self, small_tangle):
+        tangle, _ = small_tangle
+        dot = tangle_to_dot(tangle, label=lambda tx: "X")
+        assert 'label="X"' in dot
+
+    def test_entry_points_rendered(self, small_tangle):
+        tangle, _ = small_tangle
+        snapshot = take_snapshot(tangle, now=100.0, keep_recent_seconds=2.0,
+                                 min_weight_to_prune=2)
+        restored = snapshot.restore()
+        dot = tangle_to_dot(restored)
+        assert "pruned" in dot
+        assert "octagon" in dot
+
+
+class TestTangleSummary:
+    def test_contains_key_metrics(self, small_tangle):
+        tangle, _ = small_tangle
+        summary = tangle_summary(tangle)
+        assert "transactions" in summary
+        assert "7" in summary  # genesis + 6
+        assert "tips" in summary
+        assert "kind: data" in summary
+        assert "kind: genesis" in summary
+
+
+class TestChainToDot:
+    def test_main_chain_and_orphans_shaded(self):
+        chain = Blockchain(Block.mine_genesis(KEYS))
+        a = Block.mine(KEYS, prev_hash=chain.genesis.block_hash, height=1,
+                       timestamp=1.0, difficulty=6)
+        chain.add_block(a)
+        orphan = Block.mine(KEYS, prev_hash=chain.genesis.block_hash,
+                            height=1, timestamp=0.5, difficulty=2)
+        chain.add_block(orphan)
+        dot = chain_to_dot(chain)
+        assert dot.startswith("digraph chain {")
+        assert 'fillcolor="gray80"' in dot  # the orphan
+        assert dot.count('fillcolor="white"') == 2  # genesis + main block

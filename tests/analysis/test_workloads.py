@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.workloads (parallel-growth generator)."""
+
+import pytest
+
+from repro.analysis.workloads import confirmation_times, grow_parallel_tangle
+from repro.tangle.tip_selection import WeightedRandomWalkSelector
+
+
+class TestGrowParallelTangle:
+    def test_produces_requested_transactions(self):
+        growth = grow_parallel_tangle(device_count=3, tx_per_device=5,
+                                      difficulty=4, seed=1)
+        assert growth.transaction_count == 15
+        assert len(growth.tangle) == 16  # + genesis
+
+    def test_makespan_and_throughput(self):
+        growth = grow_parallel_tangle(device_count=2, tx_per_device=4,
+                                      difficulty=4, seed=2)
+        assert growth.makespan > 0
+        assert growth.throughput == pytest.approx(
+            growth.transaction_count / growth.makespan)
+
+    def test_deterministic_given_seed(self):
+        a = grow_parallel_tangle(device_count=2, tx_per_device=4,
+                                 difficulty=4, seed=3)
+        b = grow_parallel_tangle(device_count=2, tx_per_device=4,
+                                 difficulty=4, seed=3)
+        assert set(a.attach_times) == set(b.attach_times)
+        assert a.makespan == b.makespan
+
+    def test_parallelism_beats_serial_makespan(self):
+        serial = grow_parallel_tangle(device_count=1, tx_per_device=16,
+                                      difficulty=6, seed=4)
+        parallel = grow_parallel_tangle(device_count=4, tx_per_device=4,
+                                        difficulty=6, seed=4)
+        # Same total work split over 4 devices finishes much faster.
+        assert parallel.makespan < serial.makespan / 2
+
+    def test_custom_selector(self):
+        growth = grow_parallel_tangle(
+            device_count=2, tx_per_device=5, difficulty=4, seed=5,
+            selector=WeightedRandomWalkSelector(alpha=0.5),
+        )
+        assert growth.transaction_count == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grow_parallel_tangle(device_count=0, tx_per_device=1,
+                                 difficulty=4, seed=1)
+        with pytest.raises(ValueError):
+            grow_parallel_tangle(device_count=1, tx_per_device=0,
+                                 difficulty=4, seed=1)
+
+
+class TestConfirmationTimes:
+    def test_latencies_non_negative_and_present(self):
+        growth = grow_parallel_tangle(device_count=4, tx_per_device=10,
+                                      difficulty=4, seed=6)
+        latencies = confirmation_times(growth, threshold=4)
+        assert latencies
+        assert all(latency >= 0 for latency in latencies)
+
+    def test_higher_threshold_slower(self):
+        growth = grow_parallel_tangle(device_count=4, tx_per_device=10,
+                                      difficulty=4, seed=7)
+        fast = confirmation_times(growth, threshold=3)
+        slow = confirmation_times(growth, threshold=8)
+        assert (sum(slow) / len(slow)) >= (sum(fast) / len(fast))
+
+    def test_threshold_validated(self):
+        growth = grow_parallel_tangle(device_count=1, tx_per_device=2,
+                                      difficulty=4, seed=8)
+        with pytest.raises(ValueError):
+            confirmation_times(growth, threshold=1)
+
+    def test_unburied_tail_skipped(self):
+        growth = grow_parallel_tangle(device_count=1, tx_per_device=3,
+                                      difficulty=4, seed=9)
+        # Chain of 3: only the first reaches weight 3.
+        assert len(confirmation_times(growth, threshold=3)) == 1

@@ -1,0 +1,183 @@
+"""Tests for repro.attacks.ddos and the single-point-of-failure defence:
+crash or flood one gateway, fail devices over, service continues and
+no data is lost (Section VI-C)."""
+
+import random
+
+import pytest
+
+from repro.attacks.ddos import DDoSAttacker, failover_devices
+from repro.core.biot import BIoTConfig, BIoTSystem
+
+
+def build_system(seed=81):
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=4, gateway_count=2, seed=seed,
+        initial_difficulty=6, report_interval=2.0,
+    ))
+    system.initialize()
+    return system
+
+
+class TestFlooding:
+    def test_junk_is_ignored_by_gateway(self):
+        system = build_system()
+        attacker = DDoSAttacker("ddos", victim="gateway-0",
+                                burst_size=20, burst_interval=0.5,
+                                rng=random.Random(9))
+        system.network.attach(attacker)
+        attacker.start()
+        for device in system.devices:
+            device.start()
+        system.run_for(30.0)
+        assert attacker.stats.messages_sent > 100
+        # Gateway still serves its devices despite the flood.
+        victims = [d for d in system.devices if d.gateway == "gateway-0"]
+        assert all(d.stats.submissions_accepted > 0 for d in victims)
+
+    def test_burst_size_validated(self):
+        with pytest.raises(ValueError):
+            DDoSAttacker("d", victim="g", burst_size=0)
+
+    def test_stop(self):
+        system = build_system()
+        attacker = DDoSAttacker("ddos", victim="gateway-0",
+                                rng=random.Random(9))
+        system.network.attach(attacker)
+        attacker.start()
+        system.run_for(3.0)
+        attacker.stop()
+        sent = attacker.stats.messages_sent
+        system.run_for(5.0)
+        assert attacker.stats.messages_sent == sent
+
+
+class TestFloodSaturation:
+    """With per-node service times, a flood measurably degrades the
+    victim and failover restores latency."""
+
+    def _saturated_system(self):
+        system = build_system(seed=83)
+        for gateway in system.gateways:
+            gateway.service_time_s = 0.005  # 200 msg/s per gateway
+        attacker = DDoSAttacker("flood", victim="gateway-0",
+                                burst_size=400, burst_interval=1.0,
+                                rng=random.Random(11))
+        system.network.attach(attacker)
+        return system, attacker
+
+    def test_flood_starves_victim_gateway(self):
+        system, attacker = self._saturated_system()
+        for device in system.devices:
+            device.start()
+        system.run_for(10.0)  # clean baseline
+        accepted_before = {
+            d.address: d.stats.submissions_accepted for d in system.devices
+        }
+        attacker.start()
+        system.run_for(30.0)
+        victims = [d for d in system.devices if d.gateway == "gateway-0"]
+        others = [d for d in system.devices if d.gateway != "gateway-0"]
+        # The flood's backlog exceeds the devices' RPC timeout: victim
+        # requests mostly expire unanswered.
+        victim_gateway = system.network.node("gateway-0")
+        assert victim_gateway.backlog_seconds > 10.0
+        victim_gain = sum(
+            d.stats.submissions_accepted - accepted_before[d.address]
+            for d in victims
+        )
+        other_gain = sum(
+            d.stats.submissions_accepted - accepted_before[d.address]
+            for d in others
+        )
+        assert victim_gain < other_gain / 3
+        assert sum(d.timeouts for d in victims) > 0
+        # The unflooded gateway's devices are unaffected.
+        for device in others:
+            recent = device.stats.submit_latencies[-3:]
+            assert recent
+            assert sum(recent) / len(recent) < 1.0
+
+    def test_failover_escapes_the_flood(self):
+        system, attacker = self._saturated_system()
+        for device in system.devices:
+            device.start()
+        attacker.start()
+        system.run_for(20.0)
+        moved = failover_devices(system.devices, from_gateway="gateway-0",
+                                 to_gateway="gateway-1")
+        assert moved == 2
+        before = {d.address: d.stats.submissions_accepted
+                  for d in system.devices}
+        system.run_for(25.0)
+        for device in system.devices:
+            assert device.stats.submissions_accepted > before[device.address]
+            recent = device.stats.submit_latencies[-3:]
+            assert sum(recent) / len(recent) < 1.5
+
+
+class TestSinglePointOfFailure:
+    def test_crash_without_failover_stalls_victims_only(self):
+        system = build_system()
+        for device in system.devices:
+            device.start()
+        system.run_for(15.0)
+        system.network.take_down("gateway-0")
+        before = {d.address: d.stats.submissions_accepted
+                  for d in system.devices}
+        system.run_for(20.0)
+        for device in system.devices:
+            gained = device.stats.submissions_accepted - before[device.address]
+            if device.gateway == "gateway-0":
+                assert gained == 0
+            else:
+                assert gained > 0
+
+    def test_failover_restores_service(self):
+        system = build_system()
+        for device in system.devices:
+            device.start()
+        system.run_for(15.0)
+        system.network.take_down("gateway-0")
+        switched = failover_devices(system.devices,
+                                    from_gateway="gateway-0",
+                                    to_gateway="gateway-1")
+        assert switched == 2
+        before = {d.address: d.stats.submissions_accepted
+                  for d in system.devices}
+        system.run_for(25.0)
+        for device in system.devices:
+            assert device.stats.submissions_accepted > before[device.address]
+
+    def test_no_data_lost_after_crash(self):
+        """Data accepted before the crash survives on the other replicas
+        (the ledger is redundantly replicated by all full nodes)."""
+        system = build_system()
+        for device in system.devices:
+            device.start()
+        system.run_for(20.0)
+        crashed = system.gateways[0]
+        survivor = system.gateways[1]
+        accepted_by_crashed = {
+            tx.tx_hash for tx in crashed.tangle if tx.kind == "data"
+        }
+        system.network.take_down("gateway-0")
+        system.run_for(5.0)
+        surviving = {tx.tx_hash for tx in survivor.tangle}
+        missing = accepted_by_crashed - surviving
+        assert not missing
+
+    def test_recovered_gateway_can_reconnect_devices(self):
+        system = build_system()
+        for device in system.devices:
+            device.start()
+        system.run_for(10.0)
+        system.network.take_down("gateway-0")
+        system.run_for(10.0)
+        system.network.bring_up("gateway-0")
+        before = {d.address: d.stats.submissions_accepted
+                  for d in system.devices if d.gateway == "gateway-0"}
+        system.run_for(20.0)
+        for device in system.devices:
+            if device.gateway == "gateway-0":
+                assert device.stats.submissions_accepted > before[device.address]

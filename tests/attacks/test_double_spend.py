@@ -1,0 +1,118 @@
+"""Tests for repro.attacks.double_spend: conflicts must be detected,
+exactly one version accepted per replica, and the attacker punished."""
+
+import random
+
+import pytest
+
+from repro.attacks.double_spend import DoubleSpendAttacker
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto.keys import KeyPair
+
+
+def build_with_attacker(*, seed=61, amount=1, attack_interval=8.0):
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=2, gateway_count=2, seed=seed,
+        initial_difficulty=6, report_interval=2.0,
+    ))
+    attacker_keys = KeyPair.generate(seed=b"double-spender")
+    recipients = [k.public for k in system.device_keys.values()][:2]
+    attacker = DoubleSpendAttacker(
+        "attacker", attacker_keys,
+        gateways=["gateway-0", "gateway-1"],
+        recipients=recipients,
+        amount=amount,
+        attack_interval=attack_interval,
+        rng=random.Random(13),
+    )
+    system.network.attach(attacker)
+    system.manager.authorize_devices(
+        [k.public for k in system.device_keys.values()]
+        + [attacker_keys.public]
+    )
+    # Fund the attacker so the transfers are otherwise valid.
+    for node in [system.manager] + system.gateways:
+        node.ledger.credit(attacker_keys.node_id, 100)
+    # Distribute group keys so sensitive devices can report too.
+    for device in system.devices:
+        if device.sensor.sensitive:
+            system.manager.distribute_key(device.address,
+                                          device.keypair.public)
+    system.run_for(2.0)
+    return system, attacker
+
+
+class TestConstruction:
+    def test_needs_two_gateways(self):
+        keys = KeyPair.generate(seed=b"ds")
+        with pytest.raises(ValueError):
+            DoubleSpendAttacker("a", keys, gateways=["g"],
+                                recipients=[keys.public, keys.public])
+
+    def test_needs_two_recipients(self):
+        keys = KeyPair.generate(seed=b"ds")
+        with pytest.raises(ValueError):
+            DoubleSpendAttacker("a", keys, gateways=["g1", "g2"],
+                                recipients=[keys.public])
+
+
+class TestDoubleSpendDefence:
+    def test_conflict_detected_somewhere(self):
+        system, attacker = build_with_attacker()
+        attacker.start()
+        system.run_for(60.0)
+        assert attacker.stats.rounds_started >= 2
+        total_conflicts = sum(
+            len(node.ledger.conflicts)
+            for node in [system.manager] + system.gateways
+        )
+        assert total_conflicts > 0
+
+    def test_each_replica_accepts_at_most_one_per_sequence(self):
+        system, attacker = build_with_attacker()
+        attacker.start()
+        system.run_for(60.0)
+        for node in [system.manager] + system.gateways:
+            for sequence in range(attacker.stats.rounds_started):
+                spent = node.ledger.spent_tx(attacker.keypair.node_id, sequence)
+                # Either unseen (still gossiping) or exactly one winner.
+                assert spent is None or isinstance(spent, bytes)
+        # Balance can never go below zero however the race resolves.
+        for node in [system.manager] + system.gateways:
+            assert node.ledger.balance(attacker.keypair.node_id) >= 0
+
+    def test_attacker_credit_punished(self):
+        system, attacker = build_with_attacker()
+        attacker.start()
+        system.run_for(60.0)
+        punished_views = [
+            node.consensus.registry.malicious_count(attacker.keypair.node_id)
+            for node in [system.manager] + system.gateways
+        ]
+        assert any(count > 0 for count in punished_views)
+
+    def test_difficulty_escalates_with_attacks(self):
+        system, attacker = build_with_attacker(attack_interval=5.0)
+        attacker.start()
+        system.run_for(90.0)
+        difficulties = attacker.stats.assigned_difficulties
+        assert len(difficulties) >= 2
+        assert max(difficulties) > difficulties[0]
+
+    def test_honest_traffic_continues_during_attack(self):
+        system, attacker = build_with_attacker()
+        for device in system.devices:
+            device.start()
+        attacker.start()
+        system.run_for(60.0)
+        for device in system.devices:
+            assert device.stats.submissions_accepted > 0
+
+    def test_stop_halts_attack(self):
+        system, attacker = build_with_attacker()
+        attacker.start()
+        system.run_for(20.0)
+        attacker.stop()
+        rounds = attacker.stats.rounds_started
+        system.run_for(30.0)
+        assert attacker.stats.rounds_started == rounds

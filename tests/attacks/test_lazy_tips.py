@@ -1,0 +1,104 @@
+"""Tests for repro.attacks.lazy_tips: the credit mechanism must punish
+lazy approvals and the punishment must bite (Section VI-C)."""
+
+import random
+
+import pytest
+
+from repro.attacks.lazy_tips import LazyLightNode
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.devices.sensors import TemperatureSensor
+
+
+def build_with_lazy_node(*, seed=51, report_interval=2.0):
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=2, gateway_count=1, seed=seed,
+        initial_difficulty=6, report_interval=report_interval,
+    ))
+    from repro.crypto.keys import KeyPair
+    lazy_keys = KeyPair.generate(seed=b"lazy-node")
+    lazy = LazyLightNode(
+        "lazy-device", lazy_keys,
+        gateway="gateway-0",
+        manager=system.manager.acl.manager,
+        sensor=TemperatureSensor(seed=99),
+        report_interval=report_interval,
+        rng=random.Random(77),
+        fixed_branch=system.manager.tangle.genesis.tx_hash,
+    )
+    system.network.attach(lazy)
+    system.manager.authorize_devices(
+        [k.public for k in system.device_keys.values()] + [lazy_keys.public]
+    )
+    system.run_for(2.0)
+    return system, lazy
+
+
+class TestLazyPunishment:
+    def test_lazy_node_detected_and_punished(self):
+        system, lazy = build_with_lazy_node()
+        lazy.start()
+        system.run_for(90.0)
+        gateway = system.gateways[0]
+        assert gateway.consensus.lazy_detections > 0
+        assert (gateway.consensus.registry.malicious_count(lazy.keypair.node_id)
+                > 0)
+        # The assigned difficulty must have risen above the initial 6.
+        assert max(lazy.stats.assigned_difficulties) > 6
+
+    def test_honest_node_unaffected_by_lazy_peer(self):
+        system, lazy = build_with_lazy_node()
+        honest = system.devices[0]
+        lazy.start()
+        honest.start()
+        system.run_for(90.0)
+        assert honest.stats.assigned_difficulties[-1] <= 6
+        assert honest.stats.submissions_accepted > 0
+        gateway = system.gateways[0]
+        assert (gateway.consensus.registry.malicious_count(
+            honest.keypair.node_id) == 0)
+
+    def test_lazy_pow_cost_explodes_vs_honest(self):
+        """The paper's claim is about attack *cost*: "force malicious
+        nodes to increase the cost of attacks".  Once detection kicks
+        in, the lazy node burns an order of magnitude more PoW time per
+        transaction than an honest device."""
+        system, lazy = build_with_lazy_node(report_interval=1.0)
+        honest = system.devices[0]
+        honest.report_interval = 1.0
+        lazy.start()
+        honest.start()
+        system.run_for(120.0)
+        # Compare steady-state costs (second half of the run).
+        half = len(lazy.stats.pow_times) // 2
+        lazy_cost = sum(lazy.stats.pow_times[half:]) / len(lazy.stats.pow_times[half:])
+        honest_half = len(honest.stats.pow_times) // 2
+        honest_cost = (sum(honest.stats.pow_times[honest_half:])
+                       / len(honest.stats.pow_times[honest_half:]))
+        assert lazy_cost > 5 * honest_cost
+
+    def test_first_lazy_submissions_attach(self):
+        """Lazy approvals are structurally valid: the tangle accepts
+        them, punishment comes via difficulty (not censorship)."""
+        system, lazy = build_with_lazy_node()
+        lazy.start()
+        system.run_for(30.0)
+        assert lazy.stats.submissions_accepted > 0
+        assert lazy.lazy_submissions > 0
+
+    def test_pin_seeds_from_first_response_when_unset(self):
+        system, _ = build_with_lazy_node()
+        from repro.crypto.keys import KeyPair
+        keys = KeyPair.generate(seed=b"lazy-unpinned")
+        unpinned = LazyLightNode(
+            "lazy-2", keys, gateway="gateway-0",
+            manager=system.manager.acl.manager,
+            sensor=TemperatureSensor(seed=98),
+            report_interval=2.0, rng=random.Random(3),
+        )
+        system.network.attach(unpinned)
+        system.manager.authorize_devices([keys.public])
+        system.run_for(2.0)
+        unpinned.start()
+        system.run_for(10.0)
+        assert unpinned.fixed_branch is not None

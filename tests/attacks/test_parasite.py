@@ -1,0 +1,64 @@
+"""Tests for repro.attacks.parasite (parasite-chain release)."""
+
+import pytest
+
+from repro.attacks.parasite import ParasiteOutcome, simulate_parasite_release
+from repro.tangle.tip_selection import (
+    UniformRandomTipSelector,
+    WeightedRandomWalkSelector,
+)
+
+
+class TestScenarioMechanics:
+    def test_outcome_fields_consistent(self):
+        outcome = simulate_parasite_release(seed=1)
+        assert outcome.parasite_size == 40
+        assert outcome.honest_after_release == 60
+        assert outcome.approvals_total == 2 * outcome.honest_after_release
+        assert 0 <= outcome.approvals_captured <= outcome.approvals_total
+        assert 0.0 <= outcome.capture_ratio <= 1.0
+
+    def test_zero_honest_after_is_safe(self):
+        outcome = simulate_parasite_release(honest_after=0, seed=1)
+        assert outcome.capture_ratio == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = simulate_parasite_release(seed=3)
+        b = simulate_parasite_release(seed=3)
+        assert a == b
+
+
+class TestDefence:
+    def test_uniform_selection_is_vulnerable(self):
+        """Under uniform tip selection the released broom's bristles
+        dominate the tip pool and capture a large approval share."""
+        outcome = simulate_parasite_release(
+            selector=UniformRandomTipSelector(), seed=5)
+        assert outcome.capture_ratio > 0.2
+
+    def test_mcmc_starves_the_parasite(self):
+        uniform = simulate_parasite_release(
+            selector=UniformRandomTipSelector(), seed=5)
+        strong = simulate_parasite_release(
+            selector=WeightedRandomWalkSelector(alpha=1.0), seed=5)
+        assert strong.capture_ratio < uniform.capture_ratio
+        assert strong.capture_ratio < 0.05
+
+    def test_defence_scales_with_alpha(self):
+        ratios = []
+        for alpha in (0.01, 0.1, 1.0):
+            outcome = simulate_parasite_release(
+                selector=WeightedRandomWalkSelector(alpha=alpha), seed=7)
+            ratios.append(outcome.capture_ratio)
+        # Monotone non-increasing capture as the weight bias grows.
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_bigger_parasite_no_better_under_mcmc(self):
+        small = simulate_parasite_release(
+            selector=WeightedRandomWalkSelector(alpha=1.0),
+            parasite_size=20, seed=9)
+        large = simulate_parasite_release(
+            selector=WeightedRandomWalkSelector(alpha=1.0),
+            parasite_size=80, seed=9)
+        # Spending 4x the work buys the attacker essentially nothing.
+        assert large.capture_ratio <= small.capture_ratio + 0.02

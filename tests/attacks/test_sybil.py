@@ -1,0 +1,74 @@
+"""Tests for repro.attacks.sybil: the ACL must starve the swarm."""
+
+import random
+
+import pytest
+
+from repro.attacks.sybil import SybilAttacker
+from repro.core.biot import BIoTConfig, BIoTSystem
+
+
+def build_with_sybil(*, identity_count=8, seed=71):
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=2, gateway_count=1, seed=seed,
+        initial_difficulty=6, report_interval=2.0,
+    ))
+    attacker = SybilAttacker(
+        "sybil-host", gateway="gateway-0",
+        identity_count=identity_count,
+        request_interval=1.0,
+        rng=random.Random(5), seed=seed,
+    )
+    system.network.attach(attacker)
+    system.initialize()
+    return system, attacker
+
+
+class TestSybilDefence:
+    def test_all_requests_refused(self):
+        system, attacker = build_with_sybil()
+        attacker.start()
+        system.run_for(20.0)
+        assert attacker.stats.tip_requests_sent > 0
+        assert attacker.stats.tips_granted == 0
+        assert attacker.stats.tips_refused > 0
+        assert attacker.stats.submissions_accepted == 0
+        assert attacker.stats.submissions_rejected > 0
+
+    def test_tangle_stays_clean(self):
+        system, attacker = build_with_sybil()
+        attacker.start()
+        system.run_for(20.0)
+        gateway = system.gateways[0]
+        sybil_ids = {identity.node_id for identity in attacker.identities}
+        for tx in gateway.tangle:
+            assert tx.issuer.node_id not in sybil_ids
+
+    def test_honest_devices_unharmed(self):
+        system, attacker = build_with_sybil()
+        for device in system.devices:
+            device.start()
+        attacker.start()
+        system.run_for(30.0)
+        for device in system.devices:
+            assert device.stats.submissions_accepted > 0
+
+    def test_unauthorized_counter_reflects_swarm(self):
+        system, attacker = build_with_sybil(identity_count=5)
+        attacker.start()
+        system.run_for(10.0)
+        gateway = system.gateways[0]
+        assert gateway.stats.unauthorized_rejected >= 5
+
+    def test_identity_count_validated(self):
+        with pytest.raises(ValueError):
+            SybilAttacker("s", gateway="g", identity_count=0)
+
+    def test_stop(self):
+        system, attacker = build_with_sybil()
+        attacker.start()
+        system.run_for(5.0)
+        attacker.stop()
+        sent = attacker.stats.tip_requests_sent
+        system.run_for(10.0)
+        assert attacker.stats.tip_requests_sent == sent

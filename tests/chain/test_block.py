@@ -1,0 +1,108 @@
+"""Tests for repro.chain.block."""
+
+import pytest
+
+from repro.crypto.hashing import merkle_root
+from repro.crypto.keys import KeyPair
+from repro.chain.block import GENESIS_PREV_HASH, Block
+from repro.tangle.transaction import Transaction, ZERO_HASH
+
+MINER = KeyPair.generate(seed=b"block-miner")
+SENDER = KeyPair.generate(seed=b"block-sender")
+
+
+def data_tx(payload, timestamp=0.0):
+    return Transaction.create(
+        SENDER, kind="data", payload=payload, timestamp=timestamp,
+        branch=ZERO_HASH, trunk=ZERO_HASH, difficulty=1,
+    )
+
+
+class TestGenesisBlock:
+    def test_mine_genesis(self):
+        genesis = Block.mine_genesis(MINER)
+        assert genesis.is_genesis
+        assert genesis.height == 0
+        assert genesis.prev_hash == GENESIS_PREV_HASH
+        assert genesis.verify_pow()
+
+    def test_non_genesis_not_flagged(self):
+        genesis = Block.mine_genesis(MINER)
+        child = Block.mine(
+            MINER, prev_hash=genesis.block_hash, height=1,
+            timestamp=1.0, difficulty=2,
+        )
+        assert not child.is_genesis
+
+
+class TestMining:
+    def test_mined_block_verifies(self):
+        genesis = Block.mine_genesis(MINER)
+        block = Block.mine(
+            MINER, prev_hash=genesis.block_hash, height=1, timestamp=1.0,
+            difficulty=6, transactions=(data_tx(b"a"), data_tx(b"b")),
+        )
+        assert block.verify_pow()
+        assert len(block.transactions) == 2
+
+    def test_merkle_root_matches_transactions(self):
+        txs = (data_tx(b"a"), data_tx(b"b"), data_tx(b"c"))
+        block = Block.mine(
+            MINER, prev_hash=GENESIS_PREV_HASH, height=0, timestamp=0.0,
+            difficulty=2, transactions=txs,
+        )
+        assert block.merkle_root == merkle_root([t.to_bytes() for t in txs])
+
+    def test_empty_body_merkle_root(self):
+        block = Block.mine_genesis(MINER)
+        assert block.merkle_root == b"\x00" * 32
+
+    def test_work_is_exponential(self):
+        a = Block.mine(MINER, prev_hash=GENESIS_PREV_HASH, height=0,
+                       timestamp=0.0, difficulty=3)
+        b = Block.mine(MINER, prev_hash=GENESIS_PREV_HASH, height=0,
+                       timestamp=0.0, difficulty=5)
+        assert b.work == 4 * a.work
+
+    def test_explicit_nonce(self):
+        mined = Block.mine(MINER, prev_hash=GENESIS_PREV_HASH, height=0,
+                           timestamp=0.0, difficulty=4)
+        rebuilt = Block.mine(
+            MINER, prev_hash=GENESIS_PREV_HASH, height=0, timestamp=0.0,
+            difficulty=4, nonce=mined.nonce,
+        )
+        assert rebuilt.block_hash == mined.block_hash
+
+
+class TestHeaderIntegrity:
+    def test_header_covers_transactions(self):
+        a = Block.mine(MINER, prev_hash=GENESIS_PREV_HASH, height=0,
+                       timestamp=0.0, difficulty=2,
+                       transactions=(data_tx(b"a"),))
+        b = Block(
+            prev_hash=a.prev_hash, height=a.height, timestamp=a.timestamp,
+            difficulty=a.difficulty, miner=a.miner,
+            transactions=(data_tx(b"b"),), nonce=a.nonce,
+        )
+        assert a.header_digest != b.header_digest
+
+    def test_tampered_timestamp_breaks_pow(self):
+        block = Block.mine(MINER, prev_hash=GENESIS_PREV_HASH, height=0,
+                           timestamp=0.0, difficulty=10)
+        tampered = Block(
+            prev_hash=block.prev_hash, height=block.height, timestamp=99.0,
+            difficulty=block.difficulty, miner=block.miner,
+            transactions=block.transactions, nonce=block.nonce,
+        )
+        assert not tampered.verify_pow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(prev_hash=b"short", height=0, timestamp=0.0, difficulty=1,
+                  miner=MINER.public, transactions=(), nonce=0)
+        with pytest.raises(ValueError):
+            Block(prev_hash=GENESIS_PREV_HASH, height=-1, timestamp=0.0,
+                  difficulty=1, miner=MINER.public, transactions=(), nonce=0)
+        with pytest.raises(ValueError):
+            Block(prev_hash=GENESIS_PREV_HASH, height=0, timestamp=0.0,
+                  difficulty=0, miner=MINER.public, transactions=(), nonce=0)

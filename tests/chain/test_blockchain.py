@@ -1,0 +1,175 @@
+"""Tests for repro.chain.blockchain (longest/heaviest-chain consensus)."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.chain.block import Block
+from repro.chain.blockchain import Blockchain
+from repro.tangle.errors import (
+    DuplicateTransactionError,
+    InvalidPowError,
+    TimestampError,
+    UnknownParentError,
+    ValidationError,
+)
+from repro.tangle.transaction import Transaction, ZERO_HASH
+
+MINER = KeyPair.generate(seed=b"chain-miner")
+SENDER = KeyPair.generate(seed=b"chain-sender")
+
+
+def extend(chain, parent, *, timestamp=None, difficulty=4, payloads=()):
+    txs = tuple(
+        Transaction.create(
+            SENDER, kind="data", payload=p, timestamp=parent.timestamp,
+            branch=ZERO_HASH, trunk=ZERO_HASH, difficulty=1,
+        )
+        for p in payloads
+    )
+    block = Block.mine(
+        MINER, prev_hash=parent.block_hash, height=parent.height + 1,
+        timestamp=timestamp if timestamp is not None else parent.timestamp + 1.0,
+        difficulty=difficulty, transactions=txs,
+    )
+    chain.add_block(block)
+    return block
+
+
+@pytest.fixture()
+def chain():
+    return Blockchain(Block.mine_genesis(MINER))
+
+
+class TestGrowth:
+    def test_linear_growth(self, chain):
+        tip = chain.genesis
+        for _ in range(3):
+            tip = extend(chain, tip)
+        assert chain.height == 3
+        assert chain.best_tip.block_hash == tip.block_hash
+        assert len(chain) == 4
+
+    def test_main_chain_order(self, chain):
+        a = extend(chain, chain.genesis)
+        b = extend(chain, a)
+        main = chain.main_chain()
+        assert [blk.height for blk in main] == [0, 1, 2]
+        assert main[-1].block_hash == b.block_hash
+
+    def test_add_returns_main_flag(self, chain):
+        a = Block.mine(MINER, prev_hash=chain.genesis.block_hash, height=1,
+                       timestamp=1.0, difficulty=4)
+        assert chain.add_block(a) is True
+
+
+class TestValidation:
+    def test_duplicate_rejected(self, chain):
+        a = extend(chain, chain.genesis)
+        with pytest.raises(DuplicateTransactionError):
+            chain.add_block(a)
+
+    def test_unknown_parent_rejected(self, chain):
+        stray = Block.mine(MINER, prev_hash=b"\x07" * 32, height=1,
+                           timestamp=1.0, difficulty=4)
+        with pytest.raises(UnknownParentError):
+            chain.add_block(stray)
+
+    def test_wrong_height_rejected(self, chain):
+        bad = Block.mine(MINER, prev_hash=chain.genesis.block_hash, height=5,
+                         timestamp=1.0, difficulty=4)
+        with pytest.raises(ValidationError):
+            chain.add_block(bad)
+
+    def test_bad_pow_rejected(self, chain):
+        good = Block.mine(MINER, prev_hash=chain.genesis.block_hash,
+                          height=1, timestamp=1.0, difficulty=14)
+        forged = Block(
+            prev_hash=good.prev_hash, height=good.height,
+            timestamp=good.timestamp, difficulty=good.difficulty,
+            miner=good.miner, transactions=good.transactions, nonce=0,
+        )
+        if forged.verify_pow():
+            pytest.skip("nonce 0 accidentally valid")
+        with pytest.raises(InvalidPowError):
+            chain.add_block(forged)
+
+    def test_timestamp_before_parent_rejected(self, chain):
+        a = extend(chain, chain.genesis, timestamp=10.0)
+        bad = Block.mine(MINER, prev_hash=a.block_hash, height=2,
+                         timestamp=5.0, difficulty=4)
+        with pytest.raises(TimestampError):
+            chain.add_block(bad)
+
+    def test_second_genesis_rejected(self, chain):
+        with pytest.raises(ValidationError):
+            chain.add_block(Block.mine_genesis(MINER))
+
+    def test_badly_signed_transaction_rejected(self, chain):
+        tx = Transaction.create(
+            SENDER, kind="data", payload=b"x", timestamp=0.0,
+            branch=ZERO_HASH, trunk=ZERO_HASH, difficulty=1,
+        )
+        forged_tx = Transaction(
+            kind=tx.kind, issuer=tx.issuer, payload=b"swapped",
+            timestamp=tx.timestamp, branch=tx.branch, trunk=tx.trunk,
+            difficulty=tx.difficulty, nonce=tx.nonce, signature=tx.signature,
+        )
+        block = Block.mine(
+            MINER, prev_hash=chain.genesis.block_hash, height=1,
+            timestamp=1.0, difficulty=4, transactions=(forged_tx,),
+        )
+        with pytest.raises(ValidationError):
+            chain.add_block(block)
+
+
+class TestForks:
+    def test_fork_does_not_become_main(self, chain):
+        a = extend(chain, chain.genesis)
+        b = extend(chain, a)
+        fork = Block.mine(MINER, prev_hash=a.block_hash, height=2,
+                          timestamp=a.timestamp + 0.5, difficulty=4)
+        became_main = chain.add_block(fork)
+        assert not became_main
+        assert chain.best_tip.block_hash == b.block_hash
+        assert chain.fork_count == 1
+        assert fork.block_hash in {blk.block_hash for blk in chain.orphaned_blocks()}
+
+    def test_heavier_fork_causes_reorg(self, chain):
+        a = extend(chain, chain.genesis, difficulty=4)
+        fork1 = Block.mine(MINER, prev_hash=chain.genesis.block_hash,
+                           height=1, timestamp=0.5, difficulty=8)
+        assert chain.add_block(fork1) is True  # 2^8 > 2^4: heavier wins
+        assert chain.reorg_count == 1
+        assert chain.best_tip.block_hash == fork1.block_hash
+        assert a.block_hash in {blk.block_hash for blk in chain.orphaned_blocks()}
+
+    def test_is_on_main_chain(self, chain):
+        a = extend(chain, chain.genesis)
+        fork = Block.mine(MINER, prev_hash=chain.genesis.block_hash,
+                          height=1, timestamp=0.5, difficulty=2)
+        chain.add_block(fork)
+        assert chain.is_on_main_chain(a.block_hash)
+        assert not chain.is_on_main_chain(fork.block_hash)
+        assert not chain.is_on_main_chain(b"\x00" * 32)
+
+    def test_cumulative_work_accumulates(self, chain):
+        a = extend(chain, chain.genesis, difficulty=4)
+        assert (chain.cumulative_work(a.block_hash)
+                == chain.genesis.work + a.work)
+
+
+class TestConfirmations:
+    def test_confirmed_blocks_depth(self, chain):
+        tip = chain.genesis
+        blocks = [tip]
+        for _ in range(6):
+            tip = extend(chain, tip, payloads=(b"p",))
+            blocks.append(tip)
+        confirmed = chain.confirmed_blocks(confirmations=6)
+        assert [b.height for b in confirmed] == [0]
+        # confirmations=3 exposes heights 0-3; genesis carries no txs.
+        assert len(list(chain.confirmed_transactions(confirmations=3))) == 3
+
+    def test_zero_confirmations_returns_all(self, chain):
+        extend(chain, chain.genesis)
+        assert len(chain.confirmed_blocks(0)) == 2

@@ -1,0 +1,133 @@
+"""Tests for repro.chain.retarget (difficulty adjustment)."""
+
+import random
+
+import pytest
+
+from repro.chain.block import Block
+from repro.chain.blockchain import Blockchain
+from repro.chain.miner import Miner
+from repro.chain.retarget import RetargetingSchedule, retarget_difficulty
+from repro.crypto.keys import KeyPair
+from repro.devices.clock import SimulatedClock
+from repro.devices.profiles import PC
+from repro.pow.engine import PowEngine
+from repro.tangle.transaction import Transaction, ZERO_HASH
+
+MINER = KeyPair.generate(seed=b"retarget-tests")
+
+
+class TestRetargetStep:
+    def test_on_target_no_change(self):
+        assert retarget_difficulty(10, observed_interval=10.0,
+                                   target_interval=10.0) == 10
+
+    def test_too_fast_raises_difficulty(self):
+        assert retarget_difficulty(10, observed_interval=5.0,
+                                   target_interval=10.0) == 11
+        assert retarget_difficulty(10, observed_interval=2.5,
+                                   target_interval=10.0) == 12
+
+    def test_too_slow_lowers_difficulty(self):
+        assert retarget_difficulty(10, observed_interval=20.0,
+                                   target_interval=10.0) == 9
+
+    def test_step_clamped(self):
+        assert retarget_difficulty(10, observed_interval=0.01,
+                                   target_interval=10.0,
+                                   max_step_bits=2) == 12
+        assert retarget_difficulty(10, observed_interval=10_000.0,
+                                   target_interval=10.0,
+                                   max_step_bits=2) == 8
+
+    def test_bounds_respected(self):
+        assert retarget_difficulty(1, observed_interval=100.0,
+                                   target_interval=1.0) == 1
+        assert retarget_difficulty(32, observed_interval=0.01,
+                                   target_interval=10.0,
+                                   max_difficulty=32) == 32
+
+    @pytest.mark.parametrize("kwargs", [
+        {"observed_interval": 0.0, "target_interval": 1.0},
+        {"observed_interval": 1.0, "target_interval": 0.0},
+        {"observed_interval": 1.0, "target_interval": 1.0, "max_step_bits": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            retarget_difficulty(10, **kwargs)
+
+
+class TestRetargetingSchedule:
+    def _chain_with_intervals(self, intervals, difficulty=8):
+        chain = Blockchain(Block.mine_genesis(MINER))
+        t = 0.0
+        parent = chain.genesis
+        for interval in intervals:
+            t += interval
+            block = Block.mine(
+                MINER, prev_hash=parent.block_hash,
+                height=parent.height + 1, timestamp=t,
+                difficulty=difficulty,
+            )
+            chain.add_block(block)
+            parent = block
+        return chain
+
+    def test_genesis_only_keeps_difficulty(self):
+        chain = Blockchain(Block.mine_genesis(MINER))
+        schedule = RetargetingSchedule(target_interval=10.0)
+        assert schedule.next_difficulty(chain) == chain.genesis.difficulty
+
+    def test_fast_blocks_raise(self):
+        chain = self._chain_with_intervals([1.0] * 8)
+        schedule = RetargetingSchedule(target_interval=10.0, window=8)
+        assert schedule.next_difficulty(chain) == 10  # +2 clamped
+
+    def test_slow_blocks_lower(self):
+        chain = self._chain_with_intervals([40.0] * 8)
+        schedule = RetargetingSchedule(target_interval=10.0, window=8)
+        assert schedule.next_difficulty(chain) == 6
+
+    def test_on_target_stable(self):
+        chain = self._chain_with_intervals([10.0] * 8)
+        schedule = RetargetingSchedule(target_interval=10.0, window=8)
+        assert schedule.next_difficulty(chain) == 8
+
+    def test_degenerate_timestamps_raise(self):
+        chain = self._chain_with_intervals([0.0] * 4)
+        schedule = RetargetingSchedule(target_interval=10.0)
+        assert schedule.next_difficulty(chain) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetargetingSchedule(target_interval=0.0)
+        with pytest.raises(ValueError):
+            RetargetingSchedule(target_interval=1.0, window=0)
+
+    def test_converges_with_live_miner(self):
+        """End to end: a miner retargeting every block settles near the
+        target interval for its hash rate."""
+        chain = Blockchain(Block.mine_genesis(MINER))
+        clock = SimulatedClock()
+        engine = PowEngine(PC, clock, rng=random.Random(4))
+        # max_step_bits=1 damps the controller: a short window mixes
+        # intervals mined at different difficulties, and ±2-bit steps
+        # overshoot and oscillate around the fixed point.
+        schedule = RetargetingSchedule(target_interval=0.5, window=6,
+                                       max_step_bits=1, max_difficulty=24)
+        miner = Miner(MINER, chain, engine, block_difficulty=4)
+        sender = KeyPair.generate(seed=b"retarget-sender")
+        difficulties = []
+        for i in range(40):
+            miner.submit(Transaction.create(
+                sender, kind="data", payload=f"{i}".encode(), timestamp=0.0,
+                branch=ZERO_HASH, trunk=ZERO_HASH, difficulty=1,
+            ))
+            miner.block_difficulty = schedule.next_difficulty(chain)
+            miner.mine_next_block()
+            difficulties.append(miner.block_difficulty)
+        # Expected fixed point for 0.5 s blocks at the PC hash rate:
+        # 2^D / 300k = 0.5 -> D ~ 17.2.  Assert the converged mean.
+        steady = difficulties[-12:]
+        mean = sum(steady) / len(steady)
+        assert 14.0 <= mean <= 20.0

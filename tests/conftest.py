@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+Key pairs are session-scoped: Ed25519/X25519 derivation costs a few
+milliseconds each, and hundreds of tests want "some identity" rather
+than "a fresh identity".
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture(scope="session")
+def manager_keys():
+    return KeyPair.generate(seed=b"test-manager")
+
+
+@pytest.fixture(scope="session")
+def device_keys():
+    return KeyPair.generate(seed=b"test-device")
+
+
+@pytest.fixture(scope="session")
+def other_keys():
+    return KeyPair.generate(seed=b"test-other")
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)

@@ -1,0 +1,159 @@
+"""Tests for repro.core.quality (data quality control extension)."""
+
+import random
+
+import pytest
+
+from repro.core.quality import (
+    DEFAULT_ABSOLUTE_LIMITS,
+    BAD_DATA_BEHAVIOUR,
+    QualityVerdict,
+    ReadingQualityMonitor,
+)
+from repro.devices.sensors import SensorReading, TemperatureSensor
+
+ISSUER = b"\x01" * 32
+OTHER = b"\x02" * 32
+
+
+def reading(value, sensor_type="temperature", timestamp=0.0):
+    return SensorReading(sensor_type, value, "u", timestamp)
+
+
+class TestAbsoluteLimits:
+    def test_impossible_temperature_flagged(self):
+        monitor = ReadingQualityMonitor()
+        verdict = monitor.assess(ISSUER, reading(500.0))
+        assert not verdict.ok
+        assert "plausible range" in verdict.reason
+        assert monitor.readings_flagged == 1
+
+    def test_humidity_bounds(self):
+        monitor = ReadingQualityMonitor()
+        assert monitor.assess(ISSUER, reading(50.0, "humidity")).ok
+        assert not monitor.assess(ISSUER, reading(101.0, "humidity")).ok
+        assert not monitor.assess(ISSUER, reading(-1.0, "humidity")).ok
+
+    def test_unknown_sensor_type_has_no_absolute_screen(self):
+        monitor = ReadingQualityMonitor()
+        assert monitor.assess(ISSUER, reading(1e12, "exotic")).ok
+
+    def test_limits_configurable(self):
+        monitor = ReadingQualityMonitor(absolute_limits={"exotic": (0, 1)})
+        assert not monitor.assess(ISSUER, reading(2.0, "exotic")).ok
+
+
+class TestStatisticalScreening:
+    def _warm_monitor(self, monitor, values, issuer=ISSUER):
+        for value in values:
+            assert monitor.assess(issuer, reading(value)).ok
+
+    def test_outlier_flagged_after_warmup(self):
+        monitor = ReadingQualityMonitor(min_samples=8, z_threshold=5.0)
+        self._warm_monitor(monitor, [24.0 + 0.1 * (i % 5) for i in range(10)])
+        verdict = monitor.assess(ISSUER, reading(80.0))
+        assert not verdict.ok
+        assert verdict.z_score is not None
+        assert abs(verdict.z_score) > 5.0
+
+    def test_no_statistical_screen_before_min_samples(self):
+        monitor = ReadingQualityMonitor(min_samples=8)
+        self._warm_monitor(monitor, [24.0, 24.1, 24.2])
+        # Wild but physically possible: passes (not enough history).
+        assert monitor.assess(ISSUER, reading(120.0)).ok
+
+    def test_normal_variation_passes(self):
+        monitor = ReadingQualityMonitor()
+        sensor = TemperatureSensor(seed=5)
+        for t in range(200):
+            assert monitor.assess(ISSUER, sensor.read(float(t))).ok
+        assert monitor.readings_flagged == 0
+
+    def test_flagged_readings_do_not_poison_window(self):
+        """An attacker cannot drag the statistics by injecting outliers:
+        rejected values never enter the window."""
+        monitor = ReadingQualityMonitor(min_samples=8, z_threshold=5.0)
+        self._warm_monitor(monitor, [24.0 + 0.1 * (i % 5) for i in range(10)])
+        for _ in range(5):
+            assert not monitor.assess(ISSUER, reading(80.0)).ok
+        # The stream statistics still reflect the honest baseline.
+        assert not monitor.assess(ISSUER, reading(79.0)).ok
+
+    def test_streams_are_independent(self):
+        monitor = ReadingQualityMonitor(min_samples=8, z_threshold=5.0)
+        self._warm_monitor(monitor, [24.0 + 0.1 * (i % 5) for i in range(10)])
+        # A different issuer has no history: same value passes for it.
+        assert monitor.assess(OTHER, reading(80.0)).ok
+
+    def test_constant_stream_jump_flagged(self):
+        monitor = ReadingQualityMonitor(min_samples=4)
+        for _ in range(6):
+            assert monitor.assess(ISSUER, reading(1.0, "machine-status")).ok
+        verdict = monitor.assess(ISSUER, reading(3.0, "machine-status"))
+        assert not verdict.ok
+        assert "constant stream" in verdict.reason
+
+    def test_stream_sample_count(self):
+        monitor = ReadingQualityMonitor()
+        monitor.assess(ISSUER, reading(24.0))
+        monitor.assess(ISSUER, reading(24.1))
+        assert monitor.stream_sample_count(ISSUER, "temperature") == 2
+        assert monitor.stream_sample_count(ISSUER, "humidity") == 0
+
+
+class TestParameters:
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 1},
+        {"z_threshold": 0.0},
+        {"min_samples": 1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ReadingQualityMonitor(**kwargs)
+
+    def test_default_limits_cover_builtin_sensors(self):
+        from repro.devices.sensors import SENSOR_TYPES
+        assert set(DEFAULT_ABSOLUTE_LIMITS) == set(SENSOR_TYPES)
+
+
+class TestGatewayIntegration:
+    def test_bad_data_device_punished_via_credit(self):
+        """End to end: a gateway with a quality monitor raises a faulty
+        device's PoW difficulty through the credit mechanism."""
+        import random as random_module
+        from repro.core.biot import BIoTConfig, BIoTSystem
+        from repro.devices.sensors import Sensor
+
+        class FaultySensor(Sensor):
+            sensor_type = "temperature"
+            unit = "celsius"
+            sensitive = False
+
+            def _sample(self, index):
+                if index > 10 and index % 4 == 0:
+                    return 400.0  # physically impossible
+                return 24.0 + self._rng.gauss(0.0, 0.2)
+
+        system = BIoTSystem.build(BIoTConfig(
+            device_count=2, gateway_count=1, seed=71,
+            initial_difficulty=6, report_interval=1.0,
+        ))
+        gateway = system.gateways[0]
+        monitor = ReadingQualityMonitor()
+        gateway.quality_monitor = monitor
+        faulty = system.devices[0]
+        faulty.sensor = FaultySensor(seed=1)
+        honest = system.devices[1]
+        system.initialize()
+        faulty.start()
+        honest.start()
+        system.run_for(90.0)
+
+        assert monitor.readings_flagged > 0
+        registry = gateway.consensus.registry
+        history = registry._history[faulty.keypair.node_id]
+        assert any(kind == BAD_DATA_BEHAVIOUR for _, kind in history.malicious)
+        # The faulty device's difficulty rose above the initial level...
+        assert max(faulty.stats.assigned_difficulties) > 6
+        # ...while the honest device is unaffected.
+        assert max(honest.stats.assigned_difficulties[5:]) <= 6

@@ -1,0 +1,68 @@
+"""Tests for repro.crypto.ecies hybrid encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ecies import OVERHEAD, DecryptionError, decrypt, encrypt
+from repro.crypto.x25519 import generate_private_key, public_from_private
+
+ALICE = generate_private_key(seed=b"alice")
+ALICE_PUB = public_from_private(ALICE)
+BOB = generate_private_key(seed=b"bob")
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        envelope = encrypt(ALICE_PUB, b"attack at dawn")
+        assert decrypt(ALICE, envelope) == b"attack at dawn"
+
+    def test_empty_message(self):
+        envelope = encrypt(ALICE_PUB, b"")
+        assert decrypt(ALICE, envelope) == b""
+
+    def test_large_message(self):
+        message = bytes(range(256)) * 64
+        assert decrypt(ALICE, encrypt(ALICE_PUB, message)) == message
+
+    def test_overhead_is_constant(self):
+        for n in (0, 1, 100):
+            assert len(encrypt(ALICE_PUB, bytes(n))) == n + OVERHEAD
+
+    def test_encryptions_are_randomised(self):
+        assert encrypt(ALICE_PUB, b"m") != encrypt(ALICE_PUB, b"m")
+
+    def test_deterministic_with_fixed_ephemeral(self):
+        ephemeral = generate_private_key(seed=b"fixed")
+        a = encrypt(ALICE_PUB, b"m", _ephemeral_private=ephemeral)
+        b = encrypt(ALICE_PUB, b"m", _ephemeral_private=ephemeral)
+        # Nonce is still random, so full envelopes differ, but both decrypt.
+        assert decrypt(ALICE, a) == decrypt(ALICE, b) == b"m"
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=10)
+    def test_property_roundtrip(self, message):
+        assert decrypt(ALICE, encrypt(ALICE_PUB, message)) == message
+
+
+class TestRejections:
+    def test_wrong_recipient_key(self):
+        envelope = encrypt(ALICE_PUB, b"for alice only")
+        with pytest.raises(DecryptionError):
+            decrypt(BOB, envelope)
+
+    def test_truncated_envelope(self):
+        with pytest.raises(DecryptionError):
+            decrypt(ALICE, b"x" * (OVERHEAD - 1))
+
+    @pytest.mark.parametrize("offset", [0, 33, 45, -1])
+    def test_tampered_bytes_rejected(self, offset):
+        envelope = bytearray(encrypt(ALICE_PUB, b"integrity matters"))
+        envelope[offset] ^= 0x01
+        with pytest.raises(DecryptionError):
+            decrypt(ALICE, bytes(envelope))
+
+    def test_zero_ephemeral_point_rejected(self):
+        envelope = bytearray(encrypt(ALICE_PUB, b"m"))
+        envelope[:32] = bytes(32)  # low-order point
+        with pytest.raises(DecryptionError):
+            decrypt(ALICE, bytes(envelope))

@@ -1,0 +1,82 @@
+"""Tests for repro.crypto.kdf against RFC 5869."""
+
+import pytest
+
+from repro.crypto.kdf import (
+    constant_time_equal,
+    hkdf,
+    hkdf_expand,
+    hkdf_extract,
+    hmac_sha256,
+)
+
+
+class TestRfc5869Vectors:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865")
+
+    def test_case_2_long_inputs(self):
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        okm = hkdf(ikm, salt=salt, info=info, length=82)
+        assert okm.hex() == (
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87")
+
+    def test_case_3_empty_salt_and_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, salt=b"", info=b"", length=42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8")
+
+
+class TestHkdfBounds:
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", length=0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", length=-1)
+
+    def test_max_length_enforced(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", length=255 * 32 + 1)
+
+    def test_max_length_allowed(self):
+        assert len(hkdf(b"ikm", length=255 * 32)) == 255 * 32
+
+    def test_exact_length_returned(self):
+        for length in (1, 31, 32, 33, 64, 100):
+            assert len(hkdf(b"ikm", length=length)) == length
+
+    def test_info_separates_outputs(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+    def test_salt_separates_outputs(self):
+        assert hkdf(b"ikm", salt=b"a") != hkdf(b"ikm", salt=b"b")
+
+
+class TestHmacHelpers:
+    def test_rfc4231_case_2(self):
+        # HMAC-SHA256 with key "Jefe".
+        tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert tag.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"same", b"same")
+        assert not constant_time_equal(b"same", b"diff")
+        assert not constant_time_equal(b"same", b"samelonger")

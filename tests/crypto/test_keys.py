@@ -1,0 +1,85 @@
+"""Tests for repro.crypto.keys (node identities)."""
+
+import pytest
+
+from repro.crypto.ecies import DecryptionError
+from repro.crypto.keys import NODE_ID_SIZE, KeyPair, PublicIdentity
+
+
+class TestKeyPairGeneration:
+    def test_seeded_is_deterministic(self):
+        a = KeyPair.generate(seed=b"node-1")
+        b = KeyPair.generate(seed=b"node-1")
+        assert a.node_id == b.node_id
+        assert a.public == b.public
+
+    def test_different_seeds_differ(self):
+        assert (KeyPair.generate(seed=b"a").node_id
+                != KeyPair.generate(seed=b"b").node_id)
+
+    def test_unseeded_is_random(self):
+        assert KeyPair.generate().node_id != KeyPair.generate().node_id
+
+    def test_node_id_size(self):
+        assert len(KeyPair.generate(seed=b"x").node_id) == NODE_ID_SIZE
+
+    def test_short_id_prefix(self):
+        keys = KeyPair.generate(seed=b"x")
+        assert keys.short_id == keys.node_id.hex()[:8]
+        assert keys.short_id == keys.public.short_id
+
+
+class TestSigning:
+    def test_sign_verify(self, device_keys):
+        signature = device_keys.sign(b"reading")
+        assert device_keys.public.verify(b"reading", signature)
+
+    def test_verify_rejects_other_signer(self, device_keys, other_keys):
+        signature = device_keys.sign(b"reading")
+        assert not other_keys.public.verify(b"reading", signature)
+
+    def test_verify_rejects_other_message(self, device_keys):
+        signature = device_keys.sign(b"reading")
+        assert not device_keys.public.verify(b"tampered", signature)
+
+
+class TestEncryption:
+    def test_encrypt_to_identity(self, device_keys):
+        envelope = device_keys.public.encrypt(b"secret")
+        assert device_keys.decrypt(envelope) == b"secret"
+
+    def test_wrong_holder_cannot_decrypt(self, device_keys, other_keys):
+        envelope = device_keys.public.encrypt(b"secret")
+        with pytest.raises(DecryptionError):
+            other_keys.decrypt(envelope)
+
+
+class TestIdentitySerialisation:
+    def test_roundtrip(self, device_keys):
+        encoded = device_keys.public.to_bytes()
+        assert len(encoded) == 64
+        restored = PublicIdentity.from_bytes(encoded)
+        assert restored == device_keys.public
+        assert restored.node_id == device_keys.node_id
+
+    def test_from_bytes_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            PublicIdentity.from_bytes(bytes(63))
+
+    def test_constructor_validates_lengths(self):
+        with pytest.raises(ValueError):
+            PublicIdentity(sign_public=bytes(31), enc_public=bytes(32))
+        with pytest.raises(ValueError):
+            PublicIdentity(sign_public=bytes(32), enc_public=bytes(31))
+
+    def test_node_id_binds_both_keys(self, device_keys, other_keys):
+        mixed = PublicIdentity(
+            sign_public=device_keys.public.sign_public,
+            enc_public=other_keys.public.enc_public,
+        )
+        assert mixed.node_id != device_keys.node_id
+        assert mixed.node_id != other_keys.node_id
+
+    def test_repr_contains_short_id(self, device_keys):
+        assert device_keys.short_id in repr(device_keys.public)
+        assert device_keys.short_id in repr(device_keys)

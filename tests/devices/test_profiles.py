@@ -1,0 +1,91 @@
+"""Tests for repro.devices.profiles (the Raspberry Pi substitution)."""
+
+import pytest
+
+from repro.devices.profiles import (
+    MALICIOUS_RIG,
+    PC,
+    PROFILES,
+    RASPBERRY_PI_3B,
+    DeviceProfile,
+)
+
+
+class TestBuiltinProfiles:
+    def test_registry_contains_all(self):
+        assert set(PROFILES) == {"raspberry-pi-3b", "pc", "malicious-rig"}
+        assert PROFILES["pc"] is PC
+
+    def test_pc_much_faster_than_pi(self):
+        assert PC.hash_rate > 10 * RASPBERRY_PI_3B.hash_rate
+        assert PC.aes_bytes_per_second > 10 * RASPBERRY_PI_3B.aes_bytes_per_second
+
+    def test_attacker_close_to_iot_devices(self):
+        # Threat model: attacker compute "close to IoT devices".
+        assert MALICIOUS_RIG.hash_rate <= 4 * RASPBERRY_PI_3B.hash_rate
+
+    def test_full_node_capability(self):
+        assert PC.is_full_node_capable
+        assert not RASPBERRY_PI_3B.is_full_node_capable
+
+    def test_fig9_anchor_calibration(self):
+        # DESIGN.md §4: the RPi profile is anchored on Fig. 9's 0.7 s
+        # mean PoW at the initial difficulty 11.
+        expected = RASPBERRY_PI_3B.expected_pow_seconds(11)
+        assert 0.4 < expected < 1.0
+
+
+class TestCostModel:
+    def test_pow_seconds_linear_in_attempts(self):
+        base = RASPBERRY_PI_3B.pow_seconds(0)
+        one = RASPBERRY_PI_3B.pow_seconds(3000)
+        assert base == RASPBERRY_PI_3B.pow_overhead_s
+        assert one == pytest.approx(base + 1.0)
+
+    def test_expected_pow_seconds_exponential(self):
+        t10 = RASPBERRY_PI_3B.expected_pow_seconds(10)
+        t13 = RASPBERRY_PI_3B.expected_pow_seconds(13)
+        # Subtracting overhead the ratio must be exactly 8.
+        overhead = RASPBERRY_PI_3B.pow_overhead_s
+        assert (t13 - overhead) / (t10 - overhead) == pytest.approx(8.0)
+
+    def test_aes_seconds(self):
+        assert RASPBERRY_PI_3B.aes_seconds(0) == 0.0
+        assert RASPBERRY_PI_3B.aes_seconds(700_000) == pytest.approx(1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_3B.pow_seconds(-1)
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_3B.expected_pow_seconds(-1)
+        with pytest.raises(ValueError):
+            RASPBERRY_PI_3B.aes_seconds(-1)
+
+
+class TestValidation:
+    def _profile(self, **overrides):
+        fields = dict(
+            name="x", hash_rate=1.0, pow_overhead_s=0.0,
+            aes_bytes_per_second=1.0, signature_seconds=0.0,
+            is_full_node_capable=False,
+        )
+        fields.update(overrides)
+        return DeviceProfile(**fields)
+
+    def test_valid_profile_constructs(self):
+        assert self._profile().name == "x"
+
+    @pytest.mark.parametrize("field,value", [
+        ("hash_rate", 0.0),
+        ("hash_rate", -1.0),
+        ("pow_overhead_s", -0.1),
+        ("aes_bytes_per_second", 0.0),
+        ("signature_seconds", -0.1),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            self._profile(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PC.hash_rate = 1.0

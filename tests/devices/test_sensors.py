@@ -1,0 +1,113 @@
+"""Tests for repro.devices.sensors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.sensors import (
+    SENSOR_TYPES,
+    HumiditySensor,
+    MachineStatusSensor,
+    PowerMeterSensor,
+    SensorReading,
+    TemperatureSensor,
+    VibrationSensor,
+    make_sensor,
+)
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        assert set(SENSOR_TYPES) == {
+            "temperature", "vibration", "humidity", "power", "machine-status",
+        }
+
+    def test_make_sensor(self):
+        sensor = make_sensor("temperature", seed=1)
+        assert isinstance(sensor, TemperatureSensor)
+
+    def test_make_sensor_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown sensor type"):
+            make_sensor("radar")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("sensor_type", sorted(SENSOR_TYPES))
+    def test_same_seed_same_stream(self, sensor_type):
+        a = make_sensor(sensor_type, seed=7)
+        b = make_sensor(sensor_type, seed=7)
+        for t in range(10):
+            assert a.read(float(t)) == b.read(float(t))
+
+    def test_different_seeds_differ(self):
+        a = VibrationSensor(seed=1)
+        b = VibrationSensor(seed=2)
+        assert [a.read(0.0).value] + [a.read(1.0).value] != \
+               [b.read(0.0).value] + [b.read(1.0).value]
+
+    def test_different_types_independent_streams(self):
+        t = TemperatureSensor(seed=1).read(0.0)
+        h = HumiditySensor(seed=1).read(0.0)
+        assert t.value != h.value
+
+
+class TestSensitivityFlags:
+    def test_power_and_status_sensitive(self):
+        assert PowerMeterSensor(seed=0).read(0.0).sensitive
+        assert MachineStatusSensor(seed=0).read(0.0).sensitive
+
+    def test_environmental_not_sensitive(self):
+        assert not TemperatureSensor(seed=0).read(0.0).sensitive
+        assert not VibrationSensor(seed=0).read(0.0).sensitive
+        assert not HumiditySensor(seed=0).read(0.0).sensitive
+
+
+class TestPhysicalPlausibility:
+    def test_humidity_clipped(self):
+        sensor = HumiditySensor(seed=3)
+        values = [sensor.read(float(t)).value for t in range(500)]
+        assert all(0.0 <= v <= 100.0 for v in values)
+
+    def test_vibration_non_negative(self):
+        sensor = VibrationSensor(seed=3)
+        assert all(sensor.read(float(t)).value >= 0.0 for t in range(200))
+
+    def test_power_duty_cycle_visible(self):
+        sensor = PowerMeterSensor(seed=3)
+        values = [sensor.read(float(t)).value for t in range(40)]
+        idle = values[:20]
+        load = values[20:40]
+        assert max(idle) < min(load)
+
+    def test_temperature_near_base(self):
+        sensor = TemperatureSensor(seed=3, base=24.0, swing=3.0)
+        values = [sensor.read(float(t)).value for t in range(100)]
+        assert all(19.0 < v < 29.0 for v in values)
+
+    def test_machine_status_codes(self):
+        sensor = MachineStatusSensor(seed=3)
+        assert all(sensor.read(float(t)).value in (0.0, 1.0, 2.0, 3.0)
+                   for t in range(50))
+
+
+class TestSensorReadingSerialisation:
+    def test_roundtrip(self):
+        reading = SensorReading("power", 123.456, "watts", 9.5, sensitive=True)
+        assert SensorReading.from_bytes(reading.to_bytes()) == reading
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SensorReading.from_bytes(b"not json")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            SensorReading.from_bytes(b'{"value": 1.0}')
+
+    def test_reading_timestamps_flow_through(self):
+        reading = TemperatureSensor(seed=0).read(42.5)
+        assert reading.timestamp == 42.5
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_property_roundtrip(self, value, timestamp):
+        reading = SensorReading("t", value, "u", timestamp)
+        assert SensorReading.from_bytes(reading.to_bytes()) == reading

@@ -1,0 +1,140 @@
+"""Multi-manager federation: several factories, one public tangle.
+
+Section IV-A: "In each smart factory, the existence of one or more
+managers are permitted" and "Among factories, secure data sharing is
+also supported."  This scenario hard-codes two factory managers into
+one genesis; each runs its own full node, authorises its own devices,
+and distributes its own group key — on a single shared ledger.
+"""
+
+import random
+
+import pytest
+
+from repro.core.acl import GenesisConfig
+from repro.core.authority import DataProtector
+from repro.core.consensus import CreditBasedConsensus, InverseDifficultyPolicy
+from repro.crypto.keys import KeyPair
+from repro.devices.sensors import PowerMeterSensor, TemperatureSensor
+from repro.network.network import Network
+from repro.network.simulator import EventScheduler
+from repro.nodes.light_node import LightNode
+from repro.nodes.manager import ManagerNode
+
+MANAGER_A = KeyPair.generate(seed=b"federation-manager-a")
+MANAGER_B = KeyPair.generate(seed=b"federation-manager-b")
+INTRUDER = KeyPair.generate(seed=b"federation-intruder")
+
+
+def consensus():
+    return CreditBasedConsensus(
+        policy=InverseDifficultyPolicy(initial_difficulty=6))
+
+
+@pytest.fixture()
+def federation():
+    genesis = ManagerNode.create_genesis(
+        MANAGER_A, network_name="federation",
+        extra_managers=[MANAGER_B.public],
+    )
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=random.Random(9))
+    manager_a = ManagerNode("factory-a", MANAGER_A, genesis,
+                            consensus=consensus(),
+                            rng=random.Random(1))
+    manager_b = ManagerNode("factory-b", MANAGER_B, genesis,
+                            consensus=consensus(),
+                            rng=random.Random(2))
+    network.attach(manager_a)
+    network.attach(manager_b)
+    manager_a.add_peer("factory-b")
+    manager_b.add_peer("factory-a")
+
+    devices = {}
+    for label, manager, sensor in (
+        ("device-a", manager_a, TemperatureSensor(seed=1)),
+        ("device-b", manager_b, PowerMeterSensor(seed=2)),
+    ):
+        keys = KeyPair.generate(seed=f"federation-{label}".encode())
+        device = LightNode(
+            label, keys, gateway=manager.address,
+            manager=manager.keypair.public, sensor=sensor,
+            report_interval=1.5, rng=random.Random(len(label)),
+        )
+        network.attach(device)
+        devices[label] = device
+    return scheduler, network, manager_a, manager_b, devices
+
+
+class TestGenesisFederation:
+    def test_both_managers_in_genesis(self, federation):
+        _, _, manager_a, _, _ = federation
+        config = GenesisConfig.from_genesis(manager_a.tangle.genesis)
+        ids = {m.node_id for m in config.all_managers}
+        assert ids == {MANAGER_A.node_id, MANAGER_B.node_id}
+
+    def test_second_manager_constructs_from_same_genesis(self, federation):
+        _, _, manager_a, manager_b, _ = federation
+        assert manager_b.acl.is_manager(MANAGER_B.node_id)
+        assert manager_a.acl.is_manager(MANAGER_B.node_id)
+
+    def test_intruder_cannot_pose_as_manager(self, federation):
+        _, _, manager_a, _, _ = federation
+        with pytest.raises(ValueError, match="trust anchor"):
+            ManagerNode("intruder", INTRUDER, manager_a.tangle.genesis,
+                        consensus=consensus())
+
+
+class TestFederatedOperation:
+    def test_each_manager_authorises_its_own_devices(self, federation):
+        scheduler, _, manager_a, manager_b, devices = federation
+        manager_a.authorize_devices([devices["device-a"].keypair.public])
+        manager_b.authorize_devices([devices["device-b"].keypair.public])
+        scheduler.run_until(scheduler.clock.now() + 2.0)
+        # Both updates replicated to both factories' full nodes.
+        for node in (manager_a, manager_b):
+            assert node.acl.is_authorized_device(
+                devices["device-a"].keypair.node_id)
+            assert node.acl.is_authorized_device(
+                devices["device-b"].keypair.node_id)
+
+    def test_devices_of_both_factories_share_the_ledger(self, federation):
+        scheduler, _, manager_a, manager_b, devices = federation
+        manager_a.authorize_devices([devices["device-a"].keypair.public])
+        manager_b.authorize_devices([devices["device-b"].keypair.public])
+        scheduler.run_until(scheduler.clock.now() + 2.0)
+        manager_b.distribute_key(
+            "device-b", devices["device-b"].keypair.public)
+        scheduler.run_until(scheduler.clock.now() + 2.0)
+        for device in devices.values():
+            device.start()
+        scheduler.run_until(scheduler.clock.now() + 30.0)
+        for device in devices.values():
+            assert device.stats.submissions_accepted > 0
+        hashes_a = {tx.tx_hash for tx in manager_a.tangle}
+        hashes_b = {tx.tx_hash for tx in manager_b.tangle}
+        assert hashes_a == hashes_b
+
+    def test_factory_b_data_unreadable_by_factory_a(self, federation):
+        scheduler, _, manager_a, manager_b, devices = federation
+        manager_a.authorize_devices([devices["device-a"].keypair.public])
+        manager_b.authorize_devices([devices["device-b"].keypair.public])
+        scheduler.run_until(scheduler.clock.now() + 2.0)
+        manager_b.distribute_key(
+            "device-b", devices["device-b"].keypair.public)
+        scheduler.run_until(scheduler.clock.now() + 2.0)
+        devices["device-b"].start()
+        scheduler.run_until(scheduler.clock.now() + 20.0)
+        encrypted = [tx.payload for tx in manager_a.tangle
+                     if DataProtector.is_encrypted(tx.payload)]
+        assert encrypted  # B's sensitive data replicated onto A's node
+        a_side_reader = DataProtector()  # factory A holds no B keys
+        for payload in encrypted:
+            with pytest.raises(KeyError):
+                a_side_reader.unprotect(payload)
+        # Factory B's own authority reads them, from either replica.
+        b_reader = DataProtector({
+            "sensitive": manager_b.distributor.group_key()})
+        assert all(
+            b_reader.unprotect(p).sensitive for p in encrypted
+        )

@@ -1,0 +1,107 @@
+"""Tests for repro.network.gossip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.gossip import GossipRelay, SolidificationBuffer
+
+
+class TestGossipRelay:
+    def test_mark_seen_first_time(self):
+        relay = GossipRelay()
+        assert relay.mark_seen(b"item-1")
+        assert relay.has_seen(b"item-1")
+
+    def test_duplicates_suppressed(self):
+        relay = GossipRelay()
+        relay.mark_seen(b"item-1")
+        assert not relay.mark_seen(b"item-1")
+        assert relay.duplicates_suppressed == 1
+
+    def test_relay_targets_exclude_source(self):
+        relay = GossipRelay(peers=["a", "b", "c"])
+        assert relay.relay_targets(b"x", exclude="b") == ["a", "c"]
+
+    def test_relay_targets_full_fanout(self):
+        relay = GossipRelay(peers=["a", "b"])
+        assert relay.relay_targets(b"x") == ["a", "b"]
+
+    def test_peer_management(self):
+        relay = GossipRelay()
+        relay.add_peer("a")
+        relay.add_peer("a")  # idempotent
+        relay.add_peer("b")
+        assert relay.peers == ["a", "b"]
+        relay.remove_peer("a")
+        relay.remove_peer("ghost")  # no-op
+        assert relay.peers == ["b"]
+
+    def test_seen_count(self):
+        relay = GossipRelay()
+        relay.mark_seen(b"1")
+        relay.mark_seen(b"2")
+        relay.mark_seen(b"1")
+        assert relay.seen_count == 2
+
+
+class TestSolidificationBuffer:
+    def test_park_and_satisfy(self):
+        buffer = SolidificationBuffer()
+        buffer.park(b"child", "child-item", [b"parent"])
+        assert b"child" in buffer
+        released = buffer.satisfy(b"parent")
+        assert released == [(b"child", "child-item")]
+        assert b"child" not in buffer
+
+    def test_multiple_dependencies(self):
+        buffer = SolidificationBuffer()
+        buffer.park(b"child", "item", [b"p1", b"p2"])
+        assert buffer.satisfy(b"p1") == []
+        assert buffer.satisfy(b"p2") == [(b"child", "item")]
+
+    def test_satisfy_releases_all_waiters(self):
+        buffer = SolidificationBuffer()
+        buffer.park(b"a", "A", [b"p"])
+        buffer.park(b"b", "B", [b"p"])
+        released = dict(buffer.satisfy(b"p"))
+        assert released == {b"a": "A", b"b": "B"}
+
+    def test_satisfy_unknown_dependency_is_noop(self):
+        buffer = SolidificationBuffer()
+        assert buffer.satisfy(b"nothing") == []
+
+    def test_park_requires_missing(self):
+        buffer = SolidificationBuffer()
+        with pytest.raises(ValueError):
+            buffer.park(b"x", "item", [])
+
+    def test_double_park_is_idempotent(self):
+        buffer = SolidificationBuffer()
+        buffer.park(b"x", "item", [b"p"])
+        buffer.park(b"x", "item", [b"p"])
+        assert len(buffer) == 1
+
+    def test_capacity_evicts_oldest(self):
+        buffer = SolidificationBuffer(capacity=2)
+        buffer.park(b"a", "A", [b"p"])
+        buffer.park(b"b", "B", [b"p"])
+        buffer.park(b"c", "C", [b"p"])
+        assert buffer.evictions == 1
+        assert b"a" not in buffer
+        released = dict(buffer.satisfy(b"p"))
+        assert set(released) == {b"b", b"c"}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SolidificationBuffer(capacity=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=30, unique=True))
+    def test_property_all_parked_eventually_released(self, ids):
+        buffer = SolidificationBuffer()
+        dependency = b"shared-parent"
+        for i in ids:
+            buffer.park(bytes([i]), i, [dependency])
+        released = buffer.satisfy(dependency)
+        assert sorted(item for _, item in released) == sorted(ids)
+        assert len(buffer) == 0

@@ -1,0 +1,173 @@
+"""Tests for repro.network.network (routing, failures, taps)."""
+
+import random
+
+import pytest
+
+from repro.network.network import Network, NetworkNode
+from repro.network.simulator import EventScheduler
+from repro.network.transport import LatencyModel
+
+
+class Recorder(NetworkNode):
+    """Test node that records everything it receives."""
+
+    def __init__(self, address):
+        super().__init__(address)
+        self.inbox = []
+
+    def handle_message(self, message):
+        self.inbox.append(message)
+
+
+@pytest.fixture()
+def net():
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=random.Random(1))
+    a, b, c = Recorder("a"), Recorder("b"), Recorder("c")
+    for node in (a, b, c):
+        network.attach(node)
+    return scheduler, network, a, b, c
+
+
+class TestRouting:
+    def test_send_and_deliver(self, net):
+        scheduler, network, a, b, _ = net
+        assert a.send("b", "ping", {"n": 1})
+        scheduler.run()
+        assert len(b.inbox) == 1
+        assert b.inbox[0].kind == "ping"
+        assert b.inbox[0].sender == "a"
+        assert network.messages_delivered == 1
+
+    def test_unknown_recipient_dropped(self, net):
+        scheduler, network, a, _, _ = net
+        assert not a.send("nobody", "ping", None)
+        assert network.messages_dropped == 1
+
+    def test_latency_defers_delivery(self, net):
+        scheduler, network, a, b, _ = net
+        network.set_link("a", "b", LatencyModel(base_latency=2.0))
+        a.send("b", "ping", None)
+        scheduler.run_until(1.0)
+        assert b.inbox == []
+        scheduler.run_until(3.0)
+        assert len(b.inbox) == 1
+
+    def test_broadcast_reaches_everyone_else(self, net):
+        scheduler, network, a, b, c = net
+        count = network.broadcast("a", "announce", None)
+        scheduler.run()
+        assert count == 2
+        assert len(b.inbox) == 1 and len(c.inbox) == 1
+        assert a.inbox == []
+
+    def test_broadcast_with_recipients(self, net):
+        scheduler, network, a, b, c = net
+        network.broadcast("a", "x", None, recipients=["c"])
+        scheduler.run()
+        assert b.inbox == [] and len(c.inbox) == 1
+
+    def test_duplicate_address_rejected(self, net):
+        _, network, _, _, _ = net
+        with pytest.raises(ValueError):
+            network.attach(Recorder("a"))
+
+    def test_unattached_node_cannot_send(self):
+        with pytest.raises(RuntimeError):
+            Recorder("x").send("y", "k", None)
+
+    def test_addresses_sorted(self, net):
+        _, network, _, _, _ = net
+        assert network.addresses == ["a", "b", "c"]
+
+
+class TestFailures:
+    def test_down_node_receives_nothing(self, net):
+        scheduler, network, a, b, _ = net
+        network.take_down("b")
+        assert not a.send("b", "ping", None)
+        scheduler.run()
+        assert b.inbox == []
+
+    def test_down_node_cannot_send(self, net):
+        scheduler, network, a, b, _ = net
+        network.take_down("a")
+        assert not a.send("b", "ping", None)
+
+    def test_crash_during_flight_drops_message(self, net):
+        scheduler, network, a, b, _ = net
+        network.set_link("a", "b", LatencyModel(base_latency=5.0))
+        a.send("b", "ping", None)
+        network.take_down("b")
+        scheduler.run()
+        assert b.inbox == []
+        assert network.messages_dropped == 1
+
+    def test_bring_up_restores(self, net):
+        scheduler, network, a, b, _ = net
+        network.take_down("b")
+        network.bring_up("b")
+        assert a.send("b", "ping", None)
+        scheduler.run()
+        assert len(b.inbox) == 1
+
+    def test_cut_link_is_symmetric(self, net):
+        scheduler, network, a, b, _ = net
+        network.cut_link("a", "b")
+        assert not a.send("b", "x", None)
+        assert not b.send("a", "x", None)
+        network.heal_link("a", "b")
+        assert a.send("b", "x", None)
+
+    def test_cut_link_leaves_other_paths(self, net):
+        scheduler, network, a, b, c = net
+        network.cut_link("a", "b")
+        assert a.send("c", "x", None)
+
+    def test_is_down(self, net):
+        _, network, _, _, _ = net
+        network.take_down("a")
+        assert network.is_down("a")
+        assert not network.is_down("b")
+
+    def test_take_down_unknown_raises(self, net):
+        _, network, _, _, _ = net
+        with pytest.raises(KeyError):
+            network.take_down("ghost")
+
+
+class TestObservation:
+    def test_tap_sees_deliveries(self, net):
+        scheduler, network, a, b, _ = net
+        seen = []
+        network.add_tap(seen.append)
+        a.send("b", "ping", None)
+        scheduler.run()
+        assert len(seen) == 1
+        assert seen[0].kind == "ping"
+
+    def test_tap_does_not_see_drops(self, net):
+        scheduler, network, a, b, _ = net
+        seen = []
+        network.add_tap(seen.append)
+        network.take_down("b")
+        a.send("b", "ping", None)
+        scheduler.run()
+        assert seen == []
+
+    def test_received_count(self, net):
+        scheduler, network, a, b, _ = net
+        a.send("b", "one", None)
+        a.send("b", "two", None)
+        scheduler.run()
+        assert b.received_count == 2
+
+    def test_lossy_link_statistics(self, net):
+        scheduler, network, a, b, _ = net
+        network.set_link("a", "b", LatencyModel(loss_rate=0.5))
+        for _ in range(200):
+            a.send("b", "ping", None)
+        scheduler.run()
+        assert 50 < len(b.inbox) < 150
+        assert network.messages_dropped == 200 - len(b.inbox)

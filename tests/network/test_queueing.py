@@ -1,0 +1,93 @@
+"""Tests for per-node service-time queueing (DDoS realism)."""
+
+import random
+
+import pytest
+
+from repro.network.network import Network, NetworkNode
+from repro.network.simulator import EventScheduler
+
+
+class Recorder(NetworkNode):
+    def __init__(self, address, **kwargs):
+        super().__init__(address, **kwargs)
+        self.delivery_times = []
+
+    def handle_message(self, message):
+        self.delivery_times.append(self.network.scheduler.clock.now())
+
+
+def make_pair(service_time=0.0):
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=random.Random(1))
+    sender = Recorder("sender")
+    receiver = Recorder("receiver", service_time_s=service_time)
+    network.attach(sender)
+    network.attach(receiver)
+    return scheduler, network, sender, receiver
+
+
+class TestServiceQueue:
+    def test_zero_service_time_is_instant(self):
+        scheduler, network, sender, receiver = make_pair(0.0)
+        for _ in range(10):
+            sender.send("receiver", "ping", None)
+        scheduler.run()
+        assert all(t == 0.0 for t in receiver.delivery_times)
+
+    def test_burst_is_serialised(self):
+        scheduler, network, sender, receiver = make_pair(service_time=1.0)
+        for _ in range(5):
+            sender.send("receiver", "ping", None)
+        scheduler.run()
+        # Each message occupies the server for 1 s: deliveries at 1..5.
+        assert receiver.delivery_times == pytest.approx(
+            [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert receiver.queue_depth_peak >= 5
+
+    def test_spaced_arrivals_do_not_queue(self):
+        scheduler, network, sender, receiver = make_pair(service_time=0.5)
+        for i in range(3):
+            scheduler.schedule(float(i * 2),
+                               lambda: sender.send("receiver", "ping", None))
+        scheduler.run()
+        gaps = [b - a for a, b in zip(receiver.delivery_times,
+                                      receiver.delivery_times[1:])]
+        assert all(gap == pytest.approx(2.0) for gap in gaps)
+
+    def test_backlog_seconds_reports_queue(self):
+        scheduler, network, sender, receiver = make_pair(service_time=1.0)
+        for _ in range(4):
+            sender.send("receiver", "ping", None)
+        assert receiver.backlog_seconds == pytest.approx(4.0)
+        scheduler.run()
+        assert receiver.backlog_seconds == 0.0
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            Recorder("x", service_time_s=-0.1)
+
+
+class TestFloodSaturation:
+    def test_flood_delays_honest_traffic(self):
+        """A flooded slow node serves honest requests late — the effect
+        the DDoS experiments measure."""
+        scheduler = EventScheduler()
+        network = Network(scheduler, rng=random.Random(2))
+        honest = Recorder("honest")
+        attacker = Recorder("attacker")
+        victim = Recorder("victim", service_time_s=0.01)
+        for node in (honest, attacker, victim):
+            network.attach(node)
+        # 500 junk messages land first, then one honest request.
+        for _ in range(500):
+            attacker.send("victim", "junk", None)
+        honest.send("victim", "real-request", None)
+        scheduler.run()
+        assert victim.delivery_times[-1] >= 5.0  # behind the flood
+
+    def test_unflooded_node_fast(self):
+        scheduler, network, sender, receiver = make_pair(service_time=0.01)
+        sender.send("receiver", "real-request", None)
+        scheduler.run()
+        assert receiver.delivery_times[0] == pytest.approx(0.01)

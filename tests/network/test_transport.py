@@ -1,0 +1,75 @@
+"""Tests for repro.network.transport."""
+
+import random
+
+import pytest
+
+from repro.network.transport import (
+    BACKBONE_LINK,
+    LOCAL_LINK,
+    WIRELESS_SENSOR_LINK,
+    LatencyModel,
+    Message,
+)
+
+
+class TestLatencyModel:
+    def test_base_latency_only(self):
+        model = LatencyModel(base_latency=0.1)
+        assert model.sample_delay(random.Random(1)) == 0.1
+
+    def test_jitter_bounds(self):
+        model = LatencyModel(base_latency=0.1, jitter=0.05)
+        rng = random.Random(2)
+        for _ in range(100):
+            delay = model.sample_delay(rng)
+            assert 0.1 <= delay <= 0.15
+
+    def test_loss_rate(self):
+        model = LatencyModel(base_latency=0.01, loss_rate=0.5)
+        rng = random.Random(3)
+        results = [model.sample_delay(rng) for _ in range(1000)]
+        dropped = sum(1 for r in results if r is None)
+        assert 400 < dropped < 600
+
+    def test_zero_loss_never_drops(self):
+        model = LatencyModel(loss_rate=0.0)
+        rng = random.Random(4)
+        assert all(model.sample_delay(rng) is not None for _ in range(100))
+
+    def test_bandwidth_adds_transmission_delay(self):
+        model = LatencyModel(base_latency=0.0,
+                             bandwidth_bytes_per_second=1000.0)
+        assert model.sample_delay(random.Random(1), size_bytes=500) == 0.5
+
+    def test_zero_size_ignores_bandwidth(self):
+        model = LatencyModel(base_latency=0.1,
+                             bandwidth_bytes_per_second=1000.0)
+        assert model.sample_delay(random.Random(1), size_bytes=0) == 0.1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_latency": -0.1},
+        {"jitter": -0.1},
+        {"loss_rate": -0.1},
+        {"loss_rate": 1.0},
+        {"bandwidth_bytes_per_second": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LatencyModel(**kwargs)
+
+    def test_builtin_links_ordered_by_speed(self):
+        assert BACKBONE_LINK.base_latency < WIRELESS_SENSOR_LINK.base_latency
+        assert LOCAL_LINK.base_latency == 0.0
+
+
+class TestMessage:
+    def test_ids_are_unique(self):
+        a = Message("s", "r", "k", None, 0.0)
+        b = Message("s", "r", "k", None, 0.0)
+        assert a.message_id != b.message_id
+
+    def test_repr(self):
+        message = Message("alice", "bob", "ping", None, 1.5)
+        assert "ping" in repr(message)
+        assert "alice" in repr(message)

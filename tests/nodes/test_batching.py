@@ -1,0 +1,125 @@
+"""Tests for light-node reading batches and the batch payload framing."""
+
+import pytest
+
+from repro.core.authority import DataProtector, ManagerKeyDistributor
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto.keys import KeyPair
+from repro.devices.sensors import (
+    PowerMeterSensor,
+    ReadingBatch,
+    TemperatureSensor,
+)
+
+MANAGER = KeyPair.generate(seed=b"batch-manager")
+
+
+class TestReadingBatch:
+    def test_roundtrip(self):
+        sensor = TemperatureSensor(seed=1)
+        batch = ReadingBatch(tuple(sensor.read(float(t)) for t in range(4)))
+        assert ReadingBatch.from_bytes(batch.to_bytes()) == batch
+        assert len(batch) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReadingBatch(())
+
+    def test_sensitive_if_any_member_sensitive(self):
+        plain = TemperatureSensor(seed=1).read(0.0)
+        secret = PowerMeterSensor(seed=1).read(0.0)
+        assert not ReadingBatch((plain,)).sensitive
+        assert ReadingBatch((plain, secret)).sensitive
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            ReadingBatch.from_bytes(b"nope")
+
+
+class TestBatchProtection:
+    def _keyed_protectors(self):
+        key = ManagerKeyDistributor(MANAGER).group_key()
+        return (DataProtector({"sensitive": key}),
+                DataProtector({"sensitive": key}))
+
+    def test_plain_batch_readable_by_anyone(self):
+        protector, _ = self._keyed_protectors()
+        batch = ReadingBatch(tuple(
+            TemperatureSensor(seed=2).read(float(t)) for t in range(3)))
+        payload = protector.protect_batch(batch)
+        assert DataProtector.is_batch(payload)
+        assert not DataProtector.is_encrypted(payload)
+        assert DataProtector().unprotect_batch(payload) == batch
+
+    def test_sensitive_batch_encrypted(self):
+        protector, reader = self._keyed_protectors()
+        batch = ReadingBatch(tuple(
+            PowerMeterSensor(seed=2).read(float(t)) for t in range(3)))
+        payload = protector.protect_batch(batch)
+        assert DataProtector.is_batch(payload)
+        assert DataProtector.is_encrypted(payload)
+        assert reader.unprotect_batch(payload) == batch
+        with pytest.raises(KeyError):
+            DataProtector().unprotect_batch(payload)
+
+    def test_sensitive_batch_without_key_refused(self):
+        batch = ReadingBatch((PowerMeterSensor(seed=2).read(0.0),))
+        with pytest.raises(KeyError):
+            DataProtector().protect_batch(batch)
+
+    def test_single_reading_payload_not_a_batch(self):
+        protector, _ = self._keyed_protectors()
+        payload = protector.protect(TemperatureSensor(seed=1).read(0.0))
+        assert not DataProtector.is_batch(payload)
+        with pytest.raises(ValueError):
+            DataProtector().unprotect_batch(payload)
+
+
+class TestBatchingDevice:
+    def _system(self, batch_size):
+        system = BIoTSystem.build(BIoTConfig(
+            device_count=2, gateway_count=1, seed=121,
+            initial_difficulty=6, report_interval=1.0,
+        ))
+        for device in system.devices:
+            device.batch_size = batch_size
+        system.initialize()
+        return system
+
+    def test_batched_device_posts_fewer_transactions(self):
+        unbatched = self._system(1)
+        unbatched.start_devices()
+        unbatched.run_for(40.0)
+        batched = self._system(4)
+        batched.start_devices()
+        batched.run_for(40.0)
+        device_u = unbatched.devices[0]
+        device_b = batched.devices[0]
+        # Similar reading counts, far fewer transactions.
+        assert device_b.stats.readings_taken >= device_u.stats.readings_taken * 0.5
+        assert (device_b.stats.submissions_sent
+                < device_u.stats.submissions_sent / 2)
+
+    def test_batched_payloads_decode_on_ledger(self):
+        system = self._system(3)
+        system.start_devices()
+        system.run_for(30.0)
+        gateway = system.gateways[0]
+        authority = DataProtector({
+            "sensitive": system.manager.distributor.group_key()})
+        batches = 0
+        readings = 0
+        for tx in gateway.tangle:
+            if tx.kind == "data" and DataProtector.is_batch(tx.payload):
+                batch = authority.unprotect_batch(tx.payload)
+                batches += 1
+                readings += len(batch)
+        assert batches > 0
+        assert readings == batches * 3
+
+    def test_batch_size_validated(self):
+        keys = KeyPair.generate(seed=b"bs")
+        from repro.nodes.light_node import LightNode
+        with pytest.raises(ValueError):
+            LightNode("d", keys, gateway="g", manager=keys.public,
+                      sensor=TemperatureSensor(), batch_size=0)

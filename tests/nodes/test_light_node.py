@@ -1,0 +1,139 @@
+"""Tests for repro.nodes.light_node (device behaviour)."""
+
+import random
+
+import pytest
+
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto.keys import KeyPair
+from repro.devices.sensors import PowerMeterSensor, TemperatureSensor
+from repro.network.network import Network
+from repro.network.simulator import EventScheduler
+from repro.nodes.light_node import LightNode
+
+
+def build_system(**overrides):
+    config = dict(device_count=2, gateway_count=1, seed=31,
+                  initial_difficulty=6, report_interval=2.0)
+    config.update(overrides)
+    return BIoTSystem.build(BIoTConfig(**config))
+
+
+class TestConstruction:
+    def test_report_interval_validated(self):
+        keys = KeyPair.generate(seed=b"ln")
+        with pytest.raises(ValueError):
+            LightNode("d", keys, gateway="g", manager=keys.public,
+                      sensor=TemperatureSensor(), report_interval=0.0)
+
+    def test_engine_bound_on_attach(self):
+        keys = KeyPair.generate(seed=b"ln")
+        node = LightNode("d", keys, gateway="g", manager=keys.public,
+                         sensor=TemperatureSensor())
+        assert node.engine is None
+        network = Network(EventScheduler(), rng=random.Random(1))
+        network.attach(node)
+        assert node.engine is not None
+        assert not node.engine.advance_clock
+
+    def test_start_requires_network(self):
+        keys = KeyPair.generate(seed=b"ln")
+        node = LightNode("d", keys, gateway="g", manager=keys.public,
+                         sensor=TemperatureSensor())
+        with pytest.raises(RuntimeError):
+            node.start()
+
+
+class TestReportingLoop:
+    def test_device_submits_repeatedly(self):
+        system = build_system()
+        system.initialize()
+        device = system.devices[0]
+        device.start()
+        system.run_for(20.0)
+        assert device.stats.readings_taken >= 5
+        assert device.stats.submissions_accepted >= 5
+        # At the cutoff one PoW may still be in flight (solved but not
+        # yet submitted), so the counters may differ by one.
+        assert 0 <= device.stats.pow_solves - device.stats.submissions_sent <= 1
+
+    def test_unauthorized_device_keeps_retrying_not_crashing(self):
+        system = build_system()
+        # Skip initialize(): nobody is authorised.
+        device = system.devices[0]
+        device.start()
+        system.run_for(10.0)
+        assert device.stats.tips_refused > 0
+        assert device.stats.submissions_accepted == 0
+
+    def test_sensitive_device_skips_until_key_arrives(self):
+        system = build_system(device_count=2)
+        # Authorise but do NOT distribute keys.
+        system.manager.authorize_devices(
+            [k.public for k in system.device_keys.values()]
+        )
+        system.run_for(2.0)
+        sensitive = next(d for d in system.devices if d.sensor.sensitive)
+        sensitive.start()
+        system.run_for(10.0)
+        # Readings are taken but never posted in the clear.
+        assert sensitive.stats.readings_taken > 0
+        assert sensitive.stats.submissions_sent == 0
+
+    def test_stop_halts_submissions(self):
+        system = build_system()
+        system.initialize()
+        device = system.devices[0]
+        device.start()
+        system.run_for(10.0)
+        sent_before = device.stats.submissions_sent
+        device.stop()
+        system.run_for(10.0)
+        assert device.stats.submissions_sent <= sent_before + 1
+
+    def test_latency_recorded(self):
+        system = build_system()
+        system.initialize()
+        device = system.devices[0]
+        device.start()
+        system.run_for(15.0)
+        assert device.stats.submit_latencies
+        assert all(lat > 0 for lat in device.stats.submit_latencies)
+
+    def test_gateway_crash_does_not_wedge_device(self):
+        system = build_system()
+        system.initialize()
+        device = system.devices[0]
+        device.start()
+        system.run_for(6.0)
+        system.network.take_down(device.gateway)
+        system.run_for(10.0)
+        accepted_down = device.stats.submissions_accepted
+        system.network.bring_up(device.gateway)
+        system.run_for(10.0)
+        assert device.stats.submissions_accepted > accepted_down
+
+
+class TestCreditFeedback:
+    def test_difficulty_drops_with_activity(self):
+        system = build_system(report_interval=1.0)
+        system.initialize()
+        device = system.devices[0]
+        device.start()
+        system.run_for(30.0)
+        difficulties = device.stats.assigned_difficulties
+        assert difficulties[0] == 6
+        assert min(difficulties) < 6
+        # Monotone non-increasing while continuously active.
+        assert difficulties[-1] <= difficulties[0]
+
+    def test_mean_pow_reflects_difficulty_drop(self):
+        system = build_system(report_interval=1.0)
+        system.initialize()
+        device = system.devices[0]
+        device.start()
+        system.run_for(40.0)
+        times = device.stats.pow_times
+        first_quarter = sum(times[:3]) / 3
+        last_quarter = sum(times[-3:]) / 3
+        assert last_quarter < first_quarter

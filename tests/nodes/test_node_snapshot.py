@@ -1,0 +1,155 @@
+"""Tests for node snapshots and gateway bootstrap."""
+
+import random
+
+import pytest
+
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.core.consensus import CreditBasedConsensus, InverseDifficultyPolicy
+from repro.nodes.full_node import FullNode
+from repro.nodes.snapshot import NodeSnapshot
+
+
+def matching_consensus():
+    """A consensus configured like the system's gateways (D0=6): the
+    bootstrap contract is that the newcomer runs the same policy as its
+    peers — difficulty agreement is a *configuration* property."""
+    return CreditBasedConsensus(
+        policy=InverseDifficultyPolicy(initial_difficulty=6))
+
+
+@pytest.fixture(scope="module")
+def aged_system():
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=4, gateway_count=2, seed=111,
+        initial_difficulty=6, report_interval=1.5,
+    ))
+    system.initialize()
+    system.start_devices()
+    system.run_for(90.0)
+    return system
+
+
+def snapshot_of(system, *, keep=20.0, prune_weight=5):
+    return system.gateways[0].export_snapshot(
+        now=system.scheduler.clock.now(),
+        keep_recent_seconds=keep,
+        min_weight_to_prune=prune_weight,
+    )
+
+
+class TestExportSnapshot:
+    def test_prunes_most_history(self, aged_system):
+        snapshot = snapshot_of(aged_system)
+        assert snapshot.tangle.pruned_count > snapshot.tangle.retained_count
+
+    def test_carries_derived_state(self, aged_system):
+        snapshot = snapshot_of(aged_system)
+        assert snapshot.acl_state["devices"]
+        assert snapshot.ledger_state["balances"]
+        assert snapshot.credit_state["nodes"]
+        assert snapshot.created_at == aged_system.scheduler.clock.now()
+
+    def test_json_roundtrip(self, aged_system):
+        snapshot = snapshot_of(aged_system)
+        restored = NodeSnapshot.from_json(snapshot.to_json())
+        assert restored.acl_state == snapshot.acl_state
+        assert restored.ledger_state == snapshot.ledger_state
+        assert restored.created_at == snapshot.created_at
+        assert restored.tangle.pruned_count == snapshot.tangle.pruned_count
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            NodeSnapshot.from_json("{}")
+
+
+class TestBootstrap:
+    def test_bootstrap_preserves_application_state(self, aged_system):
+        snapshot = snapshot_of(aged_system)
+        source = aged_system.gateways[0]
+        newcomer = FullNode.bootstrap_from_snapshot(
+            "nn-state", snapshot,
+            consensus=matching_consensus(),
+            rng=random.Random(1),
+        )
+        # ACL: same authorised devices.
+        assert (newcomer.acl.authorized_devices()
+                == source.acl.authorized_devices())
+        # Ledger: same balances.
+        for keys in aged_system.device_keys.values():
+            assert (newcomer.ledger.balance(keys.node_id)
+                    == source.ledger.balance(keys.node_id))
+        # Credit: the newcomer assigns every device the same difficulty
+        # its source would (the property gateways must agree on).
+        now = snapshot.created_at
+        for keys in aged_system.device_keys.values():
+            assert (newcomer.consensus.required_difficulty(keys.node_id, now)
+                    == source.consensus.required_difficulty(keys.node_id, now))
+
+    def test_bootstrap_then_sync_converges(self, aged_system):
+        snapshot = snapshot_of(aged_system)
+        source = aged_system.gateways[0]
+        newcomer = FullNode.bootstrap_from_snapshot(
+            "nn-sync", snapshot,
+            consensus=matching_consensus(),
+            rng=random.Random(2),
+        )
+        aged_system.network.attach(newcomer)
+        newcomer.add_peer(source.address)
+        source.add_peer(newcomer.address)
+        # Two sync rounds: the first closes the historical gap, the
+        # second sweeps up transactions that arrived during round one
+        # (devices keep submitting throughout).
+        newcomer.request_sync(source.address)
+        aged_system.run_for(2.0)
+        newcomer.request_sync(source.address)
+        aged_system.run_for(2.0)
+        source_hashes = {tx.tx_hash for tx in source.tangle}
+        newcomer_hashes = {tx.tx_hash for tx in newcomer.tangle}
+        assert len(source_hashes - newcomer_hashes) <= 2  # in-flight slack
+        assert newcomer.stats.sync_transactions_received > 0
+        assert len(newcomer.solidification) == 0
+
+    def test_bootstrapped_gateway_serves_devices(self, aged_system):
+        snapshot = snapshot_of(aged_system)
+        newcomer = FullNode.bootstrap_from_snapshot(
+            "nn-serve", snapshot,
+            consensus=matching_consensus(),
+            rng=random.Random(3),
+        )
+        aged_system.network.attach(newcomer)
+        for peer in [aged_system.manager] + aged_system.gateways:
+            newcomer.add_peer(peer.address)
+            peer.add_peer(newcomer.address)
+        device = aged_system.devices[1]
+        device.gateway = "nn-serve"
+        before = device.stats.submissions_accepted
+        aged_system.run_for(20.0)
+        assert device.stats.submissions_accepted > before
+
+    def test_credit_horizon_blocks_recounting(self, aged_system):
+        """Re-ingesting pre-snapshot history must not re-record
+        behaviour into the credit registry."""
+        snapshot = snapshot_of(aged_system)
+        source = aged_system.gateways[0]
+        newcomer = FullNode.bootstrap_from_snapshot(
+            "nn-horizon", snapshot,
+            consensus=matching_consensus(),
+            rng=random.Random(4),
+        )
+        device_id = list(aged_system.device_keys.values())[0].node_id
+        count_before = newcomer.consensus.registry.transaction_count(device_id)
+        # Feed it the full pre-snapshot history directly.
+        for tx in source.tangle:
+            if tx.is_genesis or tx.tx_hash in newcomer.tangle:
+                continue
+            newcomer._ingest(tx, source=None, admit=False)
+        count_after = newcomer.consensus.registry.transaction_count(device_id)
+        # Only post-horizon transactions may add records.
+        new_records = count_after - count_before
+        post_horizon = sum(
+            1 for tx in source.tangle
+            if tx.issuer.node_id == device_id
+            and tx.timestamp > snapshot.created_at
+        )
+        assert new_records <= post_horizon + 1

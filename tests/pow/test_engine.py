@@ -1,0 +1,93 @@
+"""Tests for repro.pow.engine (device-charged solving)."""
+
+import random
+
+import pytest
+
+from repro.devices.clock import SimulatedClock
+from repro.devices.profiles import PC, RASPBERRY_PI_3B
+from repro.pow.engine import PowEngine
+from repro.pow.hashcash import verify
+
+
+class TestRealSolving:
+    def test_clock_advances_by_elapsed(self):
+        clock = SimulatedClock()
+        engine = PowEngine(RASPBERRY_PI_3B, clock, rng=random.Random(1))
+        result = engine.solve(b"c", 4)
+        assert clock.now() == pytest.approx(result.elapsed_seconds)
+        assert result.finished_at == pytest.approx(result.elapsed_seconds)
+
+    def test_elapsed_matches_profile(self):
+        engine = PowEngine(PC, SimulatedClock(), rng=random.Random(1))
+        result = engine.solve(b"c", 4)
+        assert result.elapsed_seconds == pytest.approx(
+            PC.pow_seconds(result.proof.attempts)
+        )
+
+    def test_real_proof_verifies(self):
+        engine = PowEngine(PC, SimulatedClock(), rng=random.Random(2))
+        result = engine.solve(b"challenge", 8)
+        assert not result.proof.simulated
+        assert verify(b"challenge", result.proof.nonce, 8)
+
+    def test_no_advance_mode(self):
+        clock = SimulatedClock()
+        engine = PowEngine(PC, clock, rng=random.Random(1), advance_clock=False)
+        result = engine.solve(b"c", 4)
+        assert clock.now() == 0.0
+        assert result.elapsed_seconds > 0.0
+
+
+class TestSampledSolving:
+    def test_above_limit_is_sampled(self):
+        engine = PowEngine(PC, SimulatedClock(), rng=random.Random(3),
+                           real_difficulty_limit=6)
+        result = engine.solve(b"c", 7)
+        assert result.proof.simulated
+        assert result.proof.attempts >= 1
+
+    def test_below_limit_is_real(self):
+        engine = PowEngine(PC, SimulatedClock(), rng=random.Random(3),
+                           real_difficulty_limit=6)
+        assert not engine.solve(b"c", 6).proof.simulated
+
+    def test_sampled_still_charges_time(self):
+        clock = SimulatedClock()
+        engine = PowEngine(RASPBERRY_PI_3B, clock, rng=random.Random(4),
+                           real_difficulty_limit=1)
+        result = engine.solve(b"c", 20)
+        assert clock.now() == pytest.approx(result.elapsed_seconds)
+        # 2^20 attempts at 3000 H/s is minutes of simulated time.
+        assert result.elapsed_seconds > 60.0
+
+
+class TestAccounting:
+    def test_counters_accumulate(self):
+        engine = PowEngine(PC, SimulatedClock(), rng=random.Random(5))
+        for _ in range(3):
+            engine.solve(b"c", 3)
+        assert engine.solve_count == 3
+        assert engine.total_attempts >= 3
+        assert engine.total_seconds > 0
+
+    def test_mean_seconds(self):
+        engine = PowEngine(PC, SimulatedClock(), rng=random.Random(6))
+        assert engine.mean_seconds_per_solve == 0.0
+        engine.solve(b"c", 3)
+        assert engine.mean_seconds_per_solve == pytest.approx(engine.total_seconds)
+
+    def test_deterministic_with_seeded_rng(self):
+        def run():
+            engine = PowEngine(PC, SimulatedClock(), rng=random.Random(9))
+            return [engine.solve(b"c", 5).proof.nonce for _ in range(3)]
+        assert run() == run()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PowEngine(PC, real_difficulty_limit=-1)
+
+    def test_default_clock_created(self):
+        engine = PowEngine(PC, rng=random.Random(1))
+        engine.solve(b"c", 2)
+        assert engine.clock.now() > 0

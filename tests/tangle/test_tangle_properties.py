@@ -1,0 +1,103 @@
+"""Property-based (hypothesis) tests on tangle invariants.
+
+A stateful machine grows a tangle with random-but-valid operations and
+checks the structural invariants after every step:
+
+* tips are exactly the transactions with no approvers;
+* cumulative weight equals 1 + |descendants| for every transaction;
+* heights are consistent with parents;
+* arrival order is topological (parents precede children).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyPair
+from repro.tangle.tangle import Tangle
+from repro.tangle.tip_selection import UniformRandomTipSelector
+from repro.tangle.transaction import Transaction
+
+KEYS = KeyPair.generate(seed=b"property-tests")
+
+
+class TangleMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.genesis = Transaction.create_genesis(KEYS)
+        self.tangle = Tangle(self.genesis)
+        self.rng = random.Random(0)
+        self.clock = 0.0
+        self.counter = 0
+
+    def _new_transaction(self, branch, trunk):
+        self.clock += 1.0
+        self.counter += 1
+        return Transaction.create(
+            KEYS, kind="data", payload=f"p-{self.counter}".encode(),
+            timestamp=self.clock, branch=branch, trunk=trunk, difficulty=1,
+        )
+
+    @rule()
+    def attach_to_tips(self):
+        selector = UniformRandomTipSelector()
+        branch, trunk = selector.select(self.tangle, self.rng)
+        tx = self._new_transaction(branch, trunk)
+        self.tangle.attach(tx, arrival_time=self.clock)
+
+    @rule(data=st.data())
+    def attach_to_random_existing(self, data):
+        """Approve arbitrary (possibly non-tip) transactions — legal,
+        if lazy."""
+        hashes = [tx.tx_hash for tx in self.tangle]
+        branch = data.draw(st.sampled_from(hashes))
+        trunk = data.draw(st.sampled_from(hashes))
+        tx = self._new_transaction(branch, trunk)
+        self.tangle.attach(tx, arrival_time=self.clock)
+
+    @invariant()
+    def tips_have_no_approvers(self):
+        for tx in self.tangle:
+            is_tip = self.tangle.is_tip(tx.tx_hash)
+            has_approvers = bool(self.tangle.approvers(tx.tx_hash))
+            assert is_tip == (not has_approvers)
+
+    @invariant()
+    def weight_is_one_plus_descendants(self):
+        for tx in self.tangle:
+            descendants = set()
+            frontier = list(self.tangle.approvers(tx.tx_hash))
+            while frontier:
+                current = frontier.pop()
+                if current in descendants:
+                    continue
+                descendants.add(current)
+                frontier.extend(self.tangle.approvers(current))
+            assert self.tangle.weight(tx.tx_hash) == 1 + len(descendants)
+
+    @invariant()
+    def heights_consistent(self):
+        for tx in self.tangle:
+            if tx.is_genesis:
+                assert self.tangle.height(tx.tx_hash) == 0
+                continue
+            parent_heights = [
+                self.tangle.height(p) for p in (tx.branch, tx.trunk)
+            ]
+            assert self.tangle.height(tx.tx_hash) == 1 + max(parent_heights)
+
+    @invariant()
+    def arrival_order_topological(self):
+        seen = set()
+        for tx in self.tangle:
+            if not tx.is_genesis:
+                assert tx.branch in seen and tx.trunk in seen
+            seen.add(tx.tx_hash)
+
+
+TestTangleInvariants = TangleMachine.TestCase
+TestTangleInvariants.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None,
+)

@@ -1,0 +1,196 @@
+"""Tests for repro.tangle.transaction."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tangle.transaction import (
+    GENESIS_KIND,
+    ZERO_HASH,
+    Transaction,
+    TransactionKind,
+)
+
+KEYS = KeyPair.generate(seed=b"tx-tests")
+OTHER = KeyPair.generate(seed=b"tx-tests-other")
+
+
+def make_tx(**overrides):
+    fields = dict(
+        kind=TransactionKind.DATA,
+        payload=b"payload",
+        timestamp=1.0,
+        branch=b"\x01" * 32,
+        trunk=b"\x02" * 32,
+        difficulty=2,
+    )
+    fields.update(overrides)
+    return Transaction.create(KEYS, **fields)
+
+
+class TestCreation:
+    def test_pow_valid(self):
+        assert make_tx().verify_pow()
+
+    def test_signature_valid(self):
+        assert make_tx().verify_signature()
+
+    def test_higher_difficulty_still_solves(self):
+        assert make_tx(difficulty=8).verify_pow()
+
+    def test_issuer_recorded(self):
+        assert make_tx().issuer == KEYS.public
+
+    def test_explicit_nonce_used(self):
+        solved = make_tx(difficulty=4)
+        rebuilt = Transaction.create(
+            KEYS,
+            kind=solved.kind,
+            payload=solved.payload,
+            timestamp=solved.timestamp,
+            branch=solved.branch,
+            trunk=solved.trunk,
+            difficulty=solved.difficulty,
+            nonce=solved.nonce,
+        )
+        assert rebuilt.tx_hash == solved.tx_hash
+        assert rebuilt.verify_pow()
+
+
+class TestDigests:
+    def test_body_digest_independent_of_nonce(self):
+        tx = make_tx(difficulty=3)
+        other_nonce = Transaction(
+            kind=tx.kind, issuer=tx.issuer, payload=tx.payload,
+            timestamp=tx.timestamp, branch=tx.branch, trunk=tx.trunk,
+            difficulty=tx.difficulty, nonce=tx.nonce + 1, signature=b"",
+        )
+        assert other_nonce.body_digest == tx.body_digest
+        assert other_nonce.tx_hash != tx.tx_hash
+
+    @pytest.mark.parametrize("field,value", [
+        ("payload", b"different"),
+        ("timestamp", 2.0),
+        ("branch", b"\x09" * 32),
+        ("trunk", b"\x0a" * 32),
+        ("difficulty", 3),
+        ("kind", TransactionKind.TRANSFER),
+    ])
+    def test_body_digest_covers_field(self, field, value):
+        base = make_tx()
+        fields = dict(
+            kind=base.kind, issuer=base.issuer, payload=base.payload,
+            timestamp=base.timestamp, branch=base.branch, trunk=base.trunk,
+            difficulty=base.difficulty, nonce=base.nonce, signature=b"",
+        )
+        fields[field] = value
+        assert Transaction(**fields).body_digest != base.body_digest
+
+    def test_issuer_covered(self):
+        a = make_tx()
+        b = Transaction(
+            kind=a.kind, issuer=OTHER.public, payload=a.payload,
+            timestamp=a.timestamp, branch=a.branch, trunk=a.trunk,
+            difficulty=a.difficulty, nonce=a.nonce, signature=b"",
+        )
+        assert a.body_digest != b.body_digest
+
+
+class TestVerification:
+    def test_tampered_payload_fails_both(self):
+        tx = make_tx()
+        forged = Transaction(
+            kind=tx.kind, issuer=tx.issuer, payload=b"forged",
+            timestamp=tx.timestamp, branch=tx.branch, trunk=tx.trunk,
+            difficulty=tx.difficulty, nonce=tx.nonce, signature=tx.signature,
+        )
+        assert not forged.verify_signature()
+
+    def test_wrong_signer_fails(self):
+        tx = make_tx()
+        forged = Transaction(
+            kind=tx.kind, issuer=OTHER.public, payload=tx.payload,
+            timestamp=tx.timestamp, branch=tx.branch, trunk=tx.trunk,
+            difficulty=tx.difficulty, nonce=tx.nonce, signature=tx.signature,
+        )
+        assert not forged.verify_signature()
+
+    def test_nonce_zero_usually_fails_pow(self):
+        tx = make_tx(difficulty=12)
+        zeroed = Transaction(
+            kind=tx.kind, issuer=tx.issuer, payload=tx.payload,
+            timestamp=tx.timestamp, branch=tx.branch, trunk=tx.trunk,
+            difficulty=tx.difficulty, nonce=0, signature=tx.signature,
+        )
+        assert not zeroed.verify_pow()
+
+
+class TestValidationRules:
+    def test_bad_parent_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_tx(branch=b"short")
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_tx(kind="")
+
+    def test_zero_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(
+                kind="data", issuer=KEYS.public, payload=b"", timestamp=0.0,
+                branch=ZERO_HASH, trunk=ZERO_HASH, difficulty=0, nonce=0,
+                signature=b"",
+            )
+
+    def test_nonce_range_enforced(self):
+        with pytest.raises(ValueError):
+            Transaction(
+                kind="data", issuer=KEYS.public, payload=b"", timestamp=0.0,
+                branch=ZERO_HASH, trunk=ZERO_HASH, difficulty=1,
+                nonce=2 ** 64, signature=b"",
+            )
+
+
+class TestGenesis:
+    def test_create_genesis(self):
+        genesis = Transaction.create_genesis(KEYS, payload=b"config")
+        assert genesis.is_genesis
+        assert genesis.kind == GENESIS_KIND
+        assert genesis.branch == ZERO_HASH
+        assert genesis.trunk == ZERO_HASH
+        assert genesis.verify_pow()
+        assert genesis.verify_signature()
+
+    def test_non_genesis_kind(self):
+        assert not make_tx().is_genesis
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        tx = make_tx(payload=b"\x00\x01\x02binary\xff")
+        restored = Transaction.from_bytes(tx.to_bytes())
+        assert restored == tx
+        assert restored.tx_hash == tx.tx_hash
+        assert restored.verify_pow() and restored.verify_signature()
+
+    def test_roundtrip_empty_payload(self):
+        tx = make_tx(payload=b"")
+        assert Transaction.from_bytes(tx.to_bytes()) == tx
+
+    def test_rejects_truncation(self):
+        encoded = make_tx().to_bytes()
+        with pytest.raises(ValueError):
+            Transaction.from_bytes(encoded[:-5])
+
+    def test_rejects_trailing_junk(self):
+        encoded = make_tx().to_bytes()
+        with pytest.raises(ValueError):
+            Transaction.from_bytes(encoded + b"junk")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Transaction.from_bytes(b"\x00\x01")
+
+    def test_repr_is_informative(self):
+        tx = make_tx()
+        assert tx.short_hash in repr(tx)
+        assert "data" in repr(tx)

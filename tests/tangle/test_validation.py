@@ -1,0 +1,152 @@
+"""Tests for repro.tangle.validation."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.tangle.errors import (
+    InvalidPowError,
+    InvalidSignatureError,
+    TimestampError,
+)
+from repro.tangle.tangle import Tangle
+from repro.tangle.transaction import Transaction
+from repro.tangle.validation import (
+    DEFAULT_MAX_PARENT_AGE,
+    crypto_validator,
+    detect_lazy_approval,
+    timestamp_validator,
+)
+
+KEYS = KeyPair.generate(seed=b"validation-tests")
+
+
+def fresh_tangle(*validators):
+    return Tangle(Transaction.create_genesis(KEYS), validators=list(validators))
+
+
+def make_child(tangle, *, difficulty=2, timestamp=1.0, payload=b"x",
+               nonce=None):
+    g = tangle.genesis.tx_hash
+    return Transaction.create(
+        KEYS, kind="data", payload=payload, timestamp=timestamp,
+        branch=g, trunk=g, difficulty=difficulty, nonce=nonce,
+    )
+
+
+class TestCryptoValidator:
+    def test_accepts_valid_transaction(self):
+        tangle = fresh_tangle(crypto_validator())
+        tangle.attach(make_child(tangle))
+
+    def test_rejects_below_difficulty_floor(self):
+        tangle = fresh_tangle(crypto_validator(min_difficulty=5))
+        with pytest.raises(InvalidPowError, match="floor"):
+            tangle.attach(make_child(tangle, difficulty=2))
+
+    def test_rejects_bad_nonce(self):
+        tangle = fresh_tangle(crypto_validator())
+        tx = make_child(tangle, difficulty=14, nonce=0)
+        if tx.verify_pow():  # one-in-16k fluke: skip rather than flake
+            pytest.skip("nonce 0 accidentally met difficulty")
+        with pytest.raises(InvalidPowError):
+            tangle.attach(tx)
+
+    def test_rejects_bad_signature(self):
+        tangle = fresh_tangle(crypto_validator())
+        good = make_child(tangle)
+        forged = Transaction(
+            kind=good.kind, issuer=good.issuer, payload=b"swapped",
+            timestamp=good.timestamp, branch=good.branch, trunk=good.trunk,
+            difficulty=good.difficulty, nonce=good.nonce,
+            signature=good.signature,
+        )
+        # Re-solve PoW so only the signature is wrong.
+        solved = Transaction.create(
+            KEYS, kind=forged.kind, payload=forged.payload,
+            timestamp=forged.timestamp, branch=forged.branch,
+            trunk=forged.trunk, difficulty=forged.difficulty,
+        )
+        bad_sig = Transaction(
+            kind=solved.kind, issuer=solved.issuer, payload=solved.payload,
+            timestamp=solved.timestamp, branch=solved.branch,
+            trunk=solved.trunk, difficulty=solved.difficulty,
+            nonce=solved.nonce, signature=good.signature,
+        )
+        with pytest.raises(InvalidSignatureError):
+            tangle.attach(bad_sig)
+
+    def test_simulated_pow_mode_skips_nonce_check(self):
+        tangle = fresh_tangle(crypto_validator(allow_simulated_pow=True))
+        tx = make_child(tangle, difficulty=14, nonce=0)
+        tangle.attach(tx)  # accepted despite the (almost surely) bad nonce
+        assert tx.tx_hash in tangle
+
+
+class TestTimestampValidator:
+    def test_accepts_reasonable_timestamp(self):
+        tangle = fresh_tangle(timestamp_validator())
+        tangle.attach(make_child(tangle, timestamp=1.0))
+
+    def test_rejects_far_future(self):
+        tangle = fresh_tangle(timestamp_validator(max_future_skew=5.0))
+        with pytest.raises(TimestampError, match="ahead"):
+            tangle.attach(make_child(tangle, timestamp=100.0))
+
+    def test_rejects_before_parent(self):
+        tangle = fresh_tangle(timestamp_validator())
+        first = make_child(tangle, timestamp=3.0)
+        tangle.attach(first, arrival_time=3.0)
+        child = Transaction.create(
+            KEYS, kind="data", payload=b"y", timestamp=1.0,
+            branch=first.tx_hash, trunk=first.tx_hash, difficulty=2,
+        )
+        with pytest.raises(TimestampError, match="predates"):
+            tangle.attach(child)
+
+
+class TestLazyDetection:
+    def _result_with_ages(self, tangle, ages):
+        tx = make_child(tangle, timestamp=max(ages) + 1.0)
+        result = tangle.attach(tx, arrival_time=max(ages))
+        # Rebuild an AttachResult with the ages we want to probe.
+        from repro.tangle.tangle import AttachResult
+        return AttachResult(
+            transaction=tx,
+            arrival_time=result.arrival_time,
+            parents_were_tips=(True, True),
+            parent_ages=tuple(ages),
+            new_tip_count=1,
+        )
+
+    def test_fresh_parents_not_lazy(self):
+        tangle = fresh_tangle()
+        result = self._result_with_ages(tangle, (0.5, 1.0))
+        assert not detect_lazy_approval(result)
+
+    def test_old_parent_is_lazy(self):
+        tangle = fresh_tangle()
+        result = self._result_with_ages(tangle, (0.5, DEFAULT_MAX_PARENT_AGE + 1))
+        assert detect_lazy_approval(result)
+
+    def test_threshold_is_configurable(self):
+        tangle = fresh_tangle()
+        result = self._result_with_ages(tangle, (10.0, 10.0))
+        assert detect_lazy_approval(result, max_parent_age=5.0)
+        assert not detect_lazy_approval(result, max_parent_age=15.0)
+
+    def test_boundary_age_not_lazy(self):
+        tangle = fresh_tangle()
+        result = self._result_with_ages(
+            tangle, (DEFAULT_MAX_PARENT_AGE, DEFAULT_MAX_PARENT_AGE))
+        assert not detect_lazy_approval(result)
+
+    def test_concurrent_honest_race_not_punished(self):
+        """Two honest devices approving the same fresh tips: the second
+        one's parents are no longer tips but must NOT be lazy."""
+        tangle = fresh_tangle()
+        first = make_child(tangle, payload=b"first")
+        tangle.attach(first, arrival_time=1.0)
+        second = make_child(tangle, payload=b"second", timestamp=1.1)
+        result = tangle.attach(second, arrival_time=1.1)
+        assert result.parents_were_tips == (False, False)
+        assert not detect_lazy_approval(result)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_workflow_defaults(self):
+        args = build_parser().parse_args(["workflow"])
+        assert args.devices == 4
+        assert args.gateways == 2
+
+    def test_fig8_attack_times(self):
+        args = build_parser().parse_args(["fig8", "--attacks", "24", "60"])
+        assert args.attacks == [24.0, 60.0]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "difficulty" in out
+        assert "paper" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--attacks", "24", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "CrN" in out
+        assert "minimum credit" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "original-pow" in out
+        assert "credit-2-attacks" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--max-exponent", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "1024" in out
+
+    def test_workflow(self, capsys):
+        code = main([
+            "workflow", "--devices", "2", "--gateways", "1",
+            "--seconds", "20", "--difficulty", "6", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "step 5" in out
+        assert "FAILED" not in out
+
+    def test_summary(self, capsys):
+        assert main([
+            "summary", "--devices", "2", "--gateways", "1",
+            "--seconds", "15", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "submissions_accepted" in out
