@@ -44,7 +44,7 @@ from ..tangle.errors import (
     ValidationError,
 )
 from ..tangle.ledger import TokenLedger
-from ..tangle.tangle import Tangle
+from ..tangle.tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle
 from ..tangle.tip_selection import TipSelector, UniformRandomTipSelector
 from ..tangle.transaction import Transaction, TransactionKind
 from ..tangle.validation import crypto_validator
@@ -96,6 +96,12 @@ class FullNode(NetworkNode):
             (``bad-data`` behaviour).  Off by default: monitor state
             depends on per-replica arrival order, so deployments that
             enable it should pair it with a difficulty tolerance ≥ 1.
+        weight_flush_interval: batching epoch of the tangle's lazy
+            cumulative-weight engine (see
+            :data:`~repro.tangle.tangle.DEFAULT_WEIGHT_FLUSH_INTERVAL`).
+            Weights stay exact at every read; the interval only trades
+            flush frequency against per-attach cost on the gossip/sync
+            ingest hot path.
     """
 
     def __init__(self, address: str, genesis: Transaction, *,
@@ -104,7 +110,8 @@ class FullNode(NetworkNode):
                  profile: DeviceProfile = PC,
                  rng: Optional[random.Random] = None,
                  enforce_pow: bool = True,
-                 quality_monitor=None):
+                 quality_monitor=None,
+                 weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL):
         super().__init__(address)
         self.quality_monitor = quality_monitor
         self.profile = profile
@@ -129,9 +136,10 @@ class FullNode(NetworkNode):
         # evaluate credit from whatever subset of history has reached
         # them, so making policy a replication-validity rule would let
         # knowledge races fork the replicas permanently.
+        self.weight_flush_interval = weight_flush_interval
         self.tangle = Tangle(genesis, validators=[
             crypto_validator(allow_simulated_pow=not enforce_pow),
-        ])
+        ], weight_flush_interval=weight_flush_interval)
         self.relay = GossipRelay()
         self.relay.mark_seen(genesis.tx_hash)
         self.solidification: SolidificationBuffer = SolidificationBuffer()
@@ -181,7 +189,10 @@ class FullNode(NetworkNode):
         transactions (e.g. via sync) cannot double-count credit.
         """
         validators = self.tangle._validators
-        self.tangle = snapshot.tangle.restore(track_cumulative_weight=True)
+        self.tangle = snapshot.tangle.restore(
+            track_cumulative_weight=True,
+            weight_flush_interval=self.weight_flush_interval,
+        )
         for validator in validators:
             self.tangle.add_validator(validator)
         self.acl.import_state(snapshot.acl_state)

@@ -21,7 +21,13 @@ from .errors import (
 )
 from .ledger import ConflictRecord, TokenLedger, TransferPayload
 from .snapshot import TangleSnapshot, take_snapshot
-from .tangle import AttachResult, Tangle, Validator
+from .tangle import (
+    DEFAULT_WEIGHT_FLUSH_INTERVAL,
+    AttachResult,
+    Tangle,
+    TipInfo,
+    Validator,
+)
 from .tip_selection import (
     FixedPairTipSelector,
     TipSelector,
@@ -39,7 +45,9 @@ from .validation import (
 __all__ = [
     "Tangle",
     "AttachResult",
+    "TipInfo",
     "Validator",
+    "DEFAULT_WEIGHT_FLUSH_INTERVAL",
     "Transaction",
     "TransactionKind",
     "GENESIS_KIND",

@@ -106,6 +106,10 @@ class TokenLedger:
             self._balances[bytes(account)] = int(amount)
         # sender -> sequence -> accepted transaction hash
         self._spent: Dict[bytes, Dict[int, bytes]] = {}
+        # sender -> cached next unused sequence (kept so the per-transfer
+        # hot path stays O(1) instead of max() over all spent slots;
+        # invalidated on reversal, rebuilt lazily)
+        self._next_sequence: Dict[bytes, int] = {}
         # applied tx hash -> payload (kept so a losing conflict branch
         # can be reversed when the deterministic winner arrives)
         self._applied: Dict[bytes, TransferPayload] = {}
@@ -118,11 +122,13 @@ class TokenLedger:
         return self._balances.get(account, 0)
 
     def next_sequence(self, account: bytes) -> int:
-        """The next unused sequence number for *account*."""
-        spent = self._spent.get(account)
-        if not spent:
-            return 0
-        return max(spent) + 1
+        """The next unused sequence number for *account* (O(1) amortised)."""
+        cached = self._next_sequence.get(account)
+        if cached is None:
+            spent = self._spent.get(account)
+            cached = max(spent) + 1 if spent else 0
+            self._next_sequence[account] = cached
+        return cached
 
     def spent_tx(self, sender: bytes, sequence: int) -> Optional[bytes]:
         """Hash of the transfer occupying (sender, sequence), if any."""
@@ -193,6 +199,9 @@ class TokenLedger:
             self.balance(payload.recipient) + payload.amount
         )
         self._spent.setdefault(payload.sender, {})[payload.sequence] = tx_hash
+        cached = self._next_sequence.get(payload.sender)
+        if cached is not None and payload.sequence >= cached:
+            self._next_sequence[payload.sender] = payload.sequence + 1
         self._applied[tx_hash] = payload
 
     def _reverse_effect(self, tx_hash: bytes) -> None:
@@ -202,6 +211,8 @@ class TokenLedger:
             self.balance(payload.recipient) - payload.amount
         )
         del self._spent[payload.sender][payload.sequence]
+        # The reversed slot may have been the highest: recompute lazily.
+        self._next_sequence.pop(payload.sender, None)
 
     def apply_or_conflict(self, tx: Transaction, *, now: float = 0.0) -> str:
         """Asynchronous-consensus application: never refuses the DAG.
@@ -317,5 +328,6 @@ class TokenLedger:
             raise MalformedPayloadError(f"bad ledger state: {exc}") from exc
         self._balances = balances
         self._spent = spent
+        self._next_sequence = {}
         self._applied = {}
         self.conflicts = []

@@ -20,7 +20,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .tangle import Tangle, Validator
+from .tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle, Validator
 from .transaction import Transaction
 
 __all__ = ["TangleSnapshot", "take_snapshot"]
@@ -59,7 +59,8 @@ class TangleSnapshot:
     # -- restore -----------------------------------------------------------
 
     def restore(self, *, validators: Optional[List[Validator]] = None,
-                track_cumulative_weight: bool = True) -> Tangle:
+                track_cumulative_weight: bool = True,
+                weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL) -> Tangle:
         """Rebuild a working tangle from this snapshot.
 
         The restored tangle accepts references to the pruned region via
@@ -67,12 +68,16 @@ class TangleSnapshot:
         region is replayed *without* validators — it was validated when
         it first attached, and stateful validators (timestamps, credit)
         would mis-judge a replay; the supplied validators only govern
-        growth after the restore.
+        growth after the restore.  The replay itself rides the batched
+        weight engine (*weight_flush_interval*), so restoring an
+        n-transaction snapshot no longer pays an O(ancestors) walk per
+        replayed transaction.
         """
         tangle = Tangle(
             self.genesis,
             track_cumulative_weight=track_cumulative_weight,
             entry_points=dict(self.entry_points),
+            weight_flush_interval=weight_flush_interval,
         )
         for tx, arrival_time in self.retained:
             tangle.attach(tx, arrival_time=arrival_time)

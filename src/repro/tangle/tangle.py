@@ -13,10 +13,36 @@ are composed in as validator callables (see
 :mod:`repro.tangle.validation`), so a bare ``Tangle`` can be used for
 structural experiments while the full B-IoT stack layers ACL and ledger
 rules on top.
+
+Scale notes
+-----------
+
+Three hot paths are engineered for large ledgers:
+
+* **Cumulative weights** are maintained *lazily*: an attach only
+  appends the transaction to a dirty set (O(1)); contributions are
+  propagated in batched epochs (:meth:`Tangle.flush_weights`) that
+  share one reverse-topological sweep — with bitmask multiplicity
+  tracking — across the whole epoch.  Every read through
+  :meth:`Tangle.weight` flushes first, so observed weights are always
+  exact; the batching is invisible except in speed.
+* **The tip pool** keeps a lazily rebuilt sorted cache plus per-tip
+  issuer/arrival/height metadata, so :meth:`Tangle.tips` and selector
+  sampling stop re-sorting the pool on every call, and
+  :meth:`Tangle.newest_tip_arrival` answers in O(log n) amortised via
+  a lazy max-heap instead of an O(tips) scan.
+* **Depth from tips** is answered from a multi-source BFS map cached
+  per tangle version instead of a fresh future-cone BFS per query.
+
+A **height index** (:meth:`Tangle.transactions_at_height`,
+:attr:`Tangle.max_height`) supports milestone-style bounded random
+walks (see :class:`~repro.tangle.tip_selection.
+WeightedRandomWalkSelector`).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
@@ -28,10 +54,20 @@ from .errors import (
 )
 from .transaction import Transaction, ZERO_HASH
 
-__all__ = ["Tangle", "AttachResult", "Validator"]
+__all__ = ["Tangle", "AttachResult", "TipInfo", "Validator",
+           "DEFAULT_WEIGHT_FLUSH_INTERVAL"]
 
 Validator = Callable[["Tangle", Transaction], None]
 """A validation hook: raise :class:`ValidationError` to reject."""
+
+DEFAULT_WEIGHT_FLUSH_INTERVAL = 256
+"""Dirty-set size that triggers an automatic weight flush on attach.
+
+Each flush costs one sweep over the union of the dirty transactions'
+ancestor cones, so a larger interval amortises more attaches per sweep
+(total flush work is ~O(n²/interval) node visits for an n-transaction
+growth that never reads weights).  Reads flush eagerly regardless, so
+the interval never affects observable values — only throughput."""
 
 
 @dataclass(frozen=True)
@@ -61,6 +97,16 @@ class AttachResult:
         return all(self.parents_were_tips)
 
 
+@dataclass(frozen=True)
+class TipInfo:
+    """O(1) metadata the tip-pool index keeps per tip."""
+
+    tx_hash: bytes
+    issuer: bytes
+    arrival_time: float
+    height: int
+
+
 class Tangle:
     """In-memory DAG ledger seeded by a genesis transaction.
 
@@ -68,26 +114,37 @@ class Tangle:
         genesis: the root transaction (``branch == trunk == ZERO_HASH``).
         validators: extra validation hooks run before structural attach
             (ACL checks, ledger conflict rules, PoW policy, ...).
-        track_cumulative_weight: maintain exact cumulative weights on
-            every attach (O(ancestors) per attach).  Disable for very
-            large throughput sweeps that only need tip statistics.
+        track_cumulative_weight: maintain exact cumulative weights via
+            the lazy batched engine (O(1) per attach, amortised batched
+            propagation on read).  Disable for very large throughput
+            sweeps that only need tip statistics; weights are then
+            recomputed from scratch on demand (exact-on-demand
+            fallback).
         entry_points: hashes of *pruned* transactions (mapped to their
             original timestamps) that may still be referenced as
             parents — the local-snapshot mechanism
             (:mod:`repro.tangle.snapshot`).  An entry point satisfies
             parent lookups but carries no content and is never a tip.
+        weight_flush_interval: dirty-set size triggering an automatic
+            batched weight flush on attach.  ``1`` degenerates to the
+            classic eager per-attach ancestor walk (useful as the exact
+            baseline in differential tests and benchmarks).
     """
 
     def __init__(self, genesis: Transaction, *,
                  validators: Optional[List[Validator]] = None,
                  track_cumulative_weight: bool = True,
-                 entry_points: Optional[Dict[bytes, float]] = None):
+                 entry_points: Optional[Dict[bytes, float]] = None,
+                 weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL):
         if not genesis.is_genesis:
             raise ValueError("tangle must be seeded with a genesis transaction")
         if genesis.branch != ZERO_HASH or genesis.trunk != ZERO_HASH:
             raise ValueError("genesis parents must be the zero hash")
+        if weight_flush_interval < 1:
+            raise ValueError("weight_flush_interval must be >= 1")
         self._validators: List[Validator] = list(validators or [])
         self._track_weight = track_cumulative_weight
+        self._flush_interval = weight_flush_interval
         self._entry_points: Dict[bytes, float] = dict(entry_points or {})
 
         self._transactions: Dict[bytes, Transaction] = {}
@@ -97,6 +154,26 @@ class Tangle:
         self._height: Dict[bytes, int] = {}
         self._cumulative_weight: Dict[bytes, int] = {}
         self._order: List[bytes] = []
+        # -- scale indexes -------------------------------------------------
+        # Arrival position per hash: reverse-topological order for the
+        # batched weight sweep (arrival order is topological).
+        self._arrival_index: Dict[bytes, int] = {}
+        # Dirty set of attached-but-unpropagated weight contributions.
+        self._pending_weight: List[bytes] = []
+        # Height index for milestone-style walk entry points.
+        self._by_height: Dict[int, List[bytes]] = {}
+        self._max_height: int = 0
+        # Tip-pool index: lazily rebuilt sorted cache + lazy max-heap of
+        # (-arrival, hash) for newest_tip_arrival.
+        self._tips_cache: Optional[Tuple[bytes, ...]] = None
+        self._tip_arrival_heap: List[Tuple[float, bytes]] = []
+        # Tips removed without an approval (snapshot restores): they
+        # bound depth_from_tips for fully buried history.
+        self._retired: Set[bytes] = set()
+        # Structure version, for the cached depth-from-tips map.
+        self._version: int = 0
+        self._depth_map: Dict[bytes, int] = {}
+        self._depth_version: int = -1
 
         self.genesis = genesis
         self._insert(genesis, arrival_time=genesis.timestamp, parents=())
@@ -134,25 +211,77 @@ class Tangle:
 
     def tips(self) -> List[bytes]:
         """Current tip hashes in deterministic (sorted) order."""
-        return sorted(self._tips)
+        return list(self.tip_sequence())
+
+    def tip_sequence(self) -> Tuple[bytes, ...]:
+        """Sorted tip hashes as a cached tuple (no per-call copy/sort).
+
+        The cache is rebuilt only when the tip set changed since the
+        last call, so selectors sampling an unchanged pool pay O(1).
+        """
+        if self._tips_cache is None:
+            self._tips_cache = tuple(sorted(self._tips))
+        return self._tips_cache
 
     def is_tip(self, tx_hash: bytes) -> bool:
         return tx_hash in self._tips
+
+    def tip_info(self, tx_hash: bytes) -> TipInfo:
+        """Issuer/arrival/height metadata for one current tip (O(1))."""
+        if tx_hash not in self._tips:
+            raise KeyError(tx_hash)
+        tx = self._transactions[tx_hash]
+        return TipInfo(
+            tx_hash=tx_hash,
+            issuer=tx.issuer.node_id,
+            arrival_time=self._arrival_time[tx_hash],
+            height=self._height[tx_hash],
+        )
+
+    def tip_metadata(self) -> List[TipInfo]:
+        """Metadata for every current tip, in sorted-hash order."""
+        return [self.tip_info(h) for h in self.tip_sequence()]
+
+    def newest_tip_arrival(self) -> float:
+        """Latest arrival time among current tips (O(log n) amortised).
+
+        Backed by a lazy max-heap: stale entries (transactions approved
+        or retired since they were pushed) are discarded on read, so
+        per-attach consumers like the timestamp validator no longer
+        scan the whole tip pool.
+        """
+        heap = self._tip_arrival_heap
+        while heap and heap[0][1] not in self._tips:
+            heapq.heappop(heap)
+        if not heap:
+            raise ValueError("tangle has no tips")
+        return -heap[0][0]
 
     def retire_tip(self, tx_hash: bytes) -> None:
         """Remove *tx_hash* from the tip pool without an approval.
 
         Used by snapshot restoration: a transaction whose approvers were
         all pruned must not be re-offered for approval (its burial is a
-        historical fact the snapshot preserves).
+        historical fact the snapshot preserves).  Retired tips remain
+        queryable and act as burial boundaries for
+        :meth:`depth_from_tips`.
         """
         if tx_hash not in self._transactions:
             raise KeyError(tx_hash)
-        self._tips.discard(tx_hash)
+        if tx_hash in self._tips:
+            self._tips.discard(tx_hash)
+            self._retired.add(tx_hash)
+            self._tips_cache = None
+            self._version += 1
 
     @property
     def tip_count(self) -> int:
         return len(self._tips)
+
+    def retired_tips(self) -> Set[bytes]:
+        """Transactions removed from the tip pool via :meth:`retire_tip`
+        (and still without retained approvers)."""
+        return set(self._retired)
 
     def approvers(self, tx_hash: bytes) -> Set[bytes]:
         """Direct approvers (children) of *tx_hash*."""
@@ -172,14 +301,84 @@ class Tangle:
         """Longest path length from genesis to *tx_hash*."""
         return self._height[tx_hash]
 
+    @property
+    def max_height(self) -> int:
+        """Largest height of any attached transaction."""
+        return self._max_height
+
+    def transactions_at_height(self, height: int) -> Tuple[bytes, ...]:
+        """Hashes at exactly *height*, in arrival order (empty when the
+        tangle has none) — the milestone candidates for bounded walks."""
+        return tuple(self._by_height.get(height, ()))
+
     def weight(self, tx_hash: bytes) -> int:
         """Cumulative weight: 1 + number of (in)direct approvers.
 
         This is the paper's per-transaction *weight* metric ``w_k``.
+        Always exact: pending batched contributions are flushed before
+        the read.
         """
-        if self._track_weight:
-            return self._cumulative_weight[tx_hash]
-        return self._compute_cumulative_weight(tx_hash)
+        if not self._track_weight:
+            return self._compute_cumulative_weight(tx_hash)
+        if self._pending_weight:
+            self.flush_weights()
+        return self._cumulative_weight[tx_hash]
+
+    @property
+    def pending_weight_count(self) -> int:
+        """Attached transactions whose weight contribution has not been
+        propagated yet (observability for tests and benchmarks)."""
+        return len(self._pending_weight)
+
+    def flush_weights(self) -> int:
+        """Propagate all dirty weight contributions; returns how many
+        transactions were flushed.
+
+        A singleton epoch takes the classic ancestor walk.  Larger
+        epochs share one reverse-topological sweep over the union of
+        the dirty transactions' ancestor cones: every dirty transaction
+        owns one bit in an integer mask, masks are OR-merged down the
+        parent edges (children are visited before parents because
+        arrival order is topological), and each ancestor's increment is
+        the popcount of the mask that reached it — counting every dirty
+        descendant exactly once, diamonds included.
+        """
+        pending = self._pending_weight
+        if not pending:
+            return 0
+        self._pending_weight = []
+        weights = self._cumulative_weight
+        if len(pending) == 1:
+            for ancestor in self.ancestors(pending[0]):
+                weights[ancestor] += 1
+            return 1
+        bit_of = {h: 1 << i for i, h in enumerate(pending)}
+        # Affected region: the union of ancestor cones (shared ancestors
+        # are visited once, not once per dirty transaction).
+        affected: Set[bytes] = set(pending)
+        queue = deque(pending)
+        transactions = self._transactions
+        while queue:
+            current = queue.popleft()
+            for parent in self.parents(current):
+                if parent in affected or parent not in transactions:
+                    continue
+                affected.add(parent)
+                queue.append(parent)
+        incoming: Dict[bytes, int] = {}
+        arrival_index = self._arrival_index
+        for tx_hash in sorted(affected, key=arrival_index.__getitem__,
+                              reverse=True):
+            mask = incoming.pop(tx_hash, 0)
+            if mask:
+                weights[tx_hash] += mask.bit_count()
+            mask |= bit_of.get(tx_hash, 0)
+            if not mask:
+                continue
+            for parent in set(self.parents(tx_hash)):
+                if parent in affected:
+                    incoming[parent] = incoming.get(parent, 0) | mask
+        return len(pending)
 
     def is_confirmed(self, tx_hash: bytes, threshold: int) -> bool:
         """A transaction is confirmed once its weight reaches *threshold*
@@ -187,26 +386,51 @@ class Tangle:
         return self.weight(tx_hash) >= threshold
 
     def depth_from_tips(self, tx_hash: bytes) -> int:
-        """Shortest approval distance from any current tip (0 for tips)."""
-        if tx_hash in self._tips:
-            return 0
-        distance = {tx_hash: 0}
-        queue = deque([tx_hash])
-        best = None
-        while queue:
-            current = queue.popleft()
-            for child in self._approvers[current]:
-                if child in distance:
-                    continue
-                distance[child] = distance[current] + 1
-                if child in self._tips:
-                    child_distance = distance[child]
-                    best = child_distance if best is None else min(best, child_distance)
-                else:
-                    queue.append(child)
-        if best is None:
-            raise UnknownParentError(f"no tip reachable from {tx_hash.hex()[:8]}")
-        return best
+        """Shortest approval distance from any current tip (0 for tips).
+
+        Answered from a multi-source BFS map cached per tangle version,
+        so repeated queries between attaches are O(1) instead of a
+        future-cone BFS each.
+
+        A transaction whose whole future cone was pruned (its nearest
+        unapproved descendants were retired via :meth:`retire_tip`)
+        reports its distance to the nearest *retired* boundary instead —
+        a lower bound on its true burial depth, since the pruned region
+        beyond the boundary only adds approvals.  (Historically this
+        case raised :class:`UnknownParentError`.)
+        """
+        if tx_hash not in self._transactions:
+            raise KeyError(tx_hash)
+        if self._depth_version != self._version:
+            self._rebuild_depth_map()
+        return self._depth_map[tx_hash]
+
+    def _rebuild_depth_map(self) -> None:
+        depth: Dict[bytes, int] = {}
+        transactions = self._transactions
+
+        def sweep(sources) -> None:
+            queue: deque = deque()
+            for source in sources:
+                if source not in depth:
+                    depth[source] = 0
+                    queue.append(source)
+            while queue:
+                current = queue.popleft()
+                next_depth = depth[current] + 1
+                for parent in self.parents(current):
+                    if parent in depth or parent not in transactions:
+                        continue
+                    depth[parent] = next_depth
+                    queue.append(parent)
+
+        # Live tips first: where a live tip is reachable the answer is
+        # the exact historical semantics.  Anything still unassigned can
+        # only surface at a retired (pruned-approver) boundary.
+        sweep(self._tips)
+        sweep(h for h in self._retired if h not in depth)
+        self._depth_map = depth
+        self._depth_version = self._version
 
     def ancestors(self, tx_hash: bytes) -> Set[bytes]:
         """All *retained* transactions (in)directly approved by
@@ -279,24 +503,32 @@ class Tangle:
         self._transactions[tx_hash] = tx
         self._approvers[tx_hash] = set()
         self._arrival_time[tx_hash] = arrival_time
+        self._arrival_index[tx_hash] = len(self._order)
         self._order.append(tx_hash)
         self._tips.add(tx_hash)
         if parents:
             # Entry points (pruned history) sit at height 0.
-            self._height[tx_hash] = 1 + max(
-                self._height.get(p, 0) for p in set(parents)
-            )
+            height = 1 + max(self._height.get(p, 0) for p in set(parents))
         else:
-            self._height[tx_hash] = 0
+            height = 0
+        self._height[tx_hash] = height
+        self._by_height.setdefault(height, []).append(tx_hash)
+        if height > self._max_height:
+            self._max_height = height
         for parent in set(parents):
             if parent in self._entry_points:
                 continue  # pruned parents track no approvers
             self._approvers[parent].add(tx_hash)
             self._tips.discard(parent)
+            self._retired.discard(parent)
+        self._tips_cache = None
+        self._version += 1
+        heapq.heappush(self._tip_arrival_heap, (-arrival_time, tx_hash))
         self._cumulative_weight[tx_hash] = 1
         if self._track_weight and parents:
-            for ancestor in self.ancestors(tx_hash):
-                self._cumulative_weight[ancestor] += 1
+            self._pending_weight.append(tx_hash)
+            if len(self._pending_weight) >= self._flush_interval:
+                self.flush_weights()
 
     def _compute_cumulative_weight(self, tx_hash: bytes) -> int:
         if tx_hash not in self._transactions:

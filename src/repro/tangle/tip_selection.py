@@ -44,7 +44,7 @@ class UniformRandomTipSelector(TipSelector):
     tip exists, e.g. right after genesis)."""
 
     def select(self, tangle: Tangle, rng: random.Random) -> Tuple[bytes, bytes]:
-        tips = tangle.tips()
+        tips = tangle.tip_sequence()  # cached sorted tuple: no re-sort
         if not tips:
             raise ValueError("tangle has no tips")
         if len(tips) == 1:
@@ -66,8 +66,14 @@ class WeightedRandomWalkSelector(TipSelector):
         alpha: weight-bias exponent (IOTA uses values around 0.001–0.1
             at mainnet weight scales; at our simulation scale 0.01–0.5
             is reasonable).
-        start_depth: how many approval steps below the tips to start the
-            walk (walks start at genesis when the tangle is shallower).
+        start_depth: how many height levels below the newest transaction
+            to start the walk (walks start at genesis when the tangle is
+            shallower).  This is the milestone/checkpoint bound that
+            keeps walk length O(start_depth) instead of O(ledger):
+            production tangles anchor walks at a recent milestone for
+            exactly this reason, and anything attached *below* the
+            entry height can no longer capture approvals — the
+            structural parasite defence.
     """
 
     def __init__(self, alpha: float = 0.05, start_depth: int = 20):
@@ -85,18 +91,35 @@ class WeightedRandomWalkSelector(TipSelector):
         return branch, trunk
 
     def _walk_entry_point(self, tangle: Tangle) -> bytes:
-        """Start from genesis; cheap and correct for simulation scales.
+        """Milestone-style entry: start ``start_depth`` height levels
+        below the newest transaction instead of at genesis.
 
-        (Production tangles start from a recent milestone to bound walk
-        length; genesis keeps the walk exact and our tangles are small.)
+        The entry is the *heaviest* transaction at the target height
+        (ties broken by hash), read from the tangle's maintained height
+        index — the same transaction every replica picks for the same
+        ledger state, so bounding the walk costs no determinism.
+        Dead-end candidates (retired snapshot boundaries) are skipped;
+        a tangle shallower than ``start_depth`` still walks from
+        genesis, preserving the exact historical behaviour at small
+        scales.
         """
-        return tangle.genesis.tx_hash
+        target_height = tangle.max_height - self.start_depth
+        if target_height <= 0:
+            return tangle.genesis.tx_hash
+        candidates = [
+            h for h in tangle.transactions_at_height(target_height)
+            if tangle.is_tip(h) or tangle.approvers(h)
+        ]
+        if not candidates:  # pragma: no cover - only all-retired levels
+            return tangle.genesis.tx_hash
+        return max(candidates, key=lambda h: (tangle.weight(h), h))
 
     def _walk(self, tangle: Tangle, start: bytes, rng: random.Random) -> bytes:
         current = start
         while not tangle.is_tip(current):
             children = sorted(tangle.approvers(current))
-            if not children:  # pragma: no cover - tips are caught above
+            if not children:
+                # Retired snapshot boundary: legal (if stale) to approve.
                 return current
             if len(children) == 1:
                 current = children[0]

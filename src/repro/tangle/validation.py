@@ -71,7 +71,8 @@ def timestamp_validator(*, max_future_skew: float = 5.0) -> Validator:
     """
 
     def validate(tangle: Tangle, tx: Transaction) -> None:
-        newest = max(tangle.arrival_time(h) for h in tangle.tips())
+        # O(log n) amortised via the tip-pool index, not an O(tips) scan.
+        newest = tangle.newest_tip_arrival()
         if tx.timestamp > newest + max_future_skew:
             raise TimestampError(
                 f"{tx.short_hash} timestamp {tx.timestamp:.3f} is more than "

@@ -1,0 +1,86 @@
+"""Random DAG growth schedules shared by the tangle test harness.
+
+A *schedule* is a deterministic function of a ``random.Random`` seed:
+the same seed always produces the same transaction sequence, which is
+what lets the differential tests replay one schedule into several
+tangle implementations and demand identical answers.
+
+Schedules vary two pressures:
+
+* **tip pressure** — the probability a new transaction approves
+  current tips (high = honest growth) versus arbitrary old
+  transactions (low = heavy fan-in on the early DAG);
+* **broom bursts** — occasional parasite-style bursts that pin many
+  transactions onto one old anchor, stressing diamond counting and tip
+  inflation.
+
+Transactions are built unsigned (bare ``Tangle`` runs no validators):
+Ed25519 signing costs ~5 ms each in the pure-Python stack, which would
+dominate every property test for no extra coverage of the DAG code.
+"""
+
+import random
+from typing import List, Tuple
+
+from repro.crypto.keys import KeyPair
+from repro.tangle.transaction import Transaction
+
+from .reference import ReferenceTangle
+
+KEYS = KeyPair.generate(seed=b"schedule-keys")
+
+
+def unsigned_tx(index: int, branch: bytes, trunk: bytes,
+                timestamp: float) -> Transaction:
+    """A structurally valid, unsigned data transaction (cheap)."""
+    return Transaction(
+        kind="data", issuer=KEYS.public, payload=f"sched-{index}".encode(),
+        timestamp=timestamp, branch=branch, trunk=trunk,
+        difficulty=1, nonce=0, signature=b"",
+    )
+
+
+def random_growth_schedule(seed: int, *, length: int = None) -> Tuple[
+        Transaction, List[Transaction]]:
+    """Generate ``(genesis, transactions)`` for one random schedule.
+
+    The schedule is grown against a :class:`ReferenceTangle` so parent
+    choices (which depend on the evolving tip set) are defined by the
+    *reference* semantics, never by the implementation under test.
+    """
+    rng = random.Random(seed)
+    tip_pressure = rng.uniform(0.3, 0.95)
+    burst_chance = rng.uniform(0.0, 0.15)
+    n = length if length is not None else rng.randint(40, 120)
+
+    genesis = Transaction.create_genesis(KEYS)
+    reference = ReferenceTangle(genesis)
+    hashes = [genesis.tx_hash]
+    out: List[Transaction] = []
+    clock = 0.0
+    index = 0
+
+    def emit(branch: bytes, trunk: bytes) -> None:
+        nonlocal clock, index
+        clock += 1.0
+        index += 1
+        tx = unsigned_tx(index, branch, trunk, clock)
+        reference.attach(tx)
+        hashes.append(tx.tx_hash)
+        out.append(tx)
+
+    while len(out) < n:
+        if rng.random() < burst_chance:
+            anchor = rng.choice(hashes)
+            for _ in range(rng.randint(2, 6)):
+                if len(out) >= n:
+                    break
+                emit(anchor, anchor)
+            continue
+        if rng.random() < tip_pressure:
+            tips = reference.tips()
+            branch, trunk = rng.choice(tips), rng.choice(tips)
+        else:
+            branch, trunk = rng.choice(hashes), rng.choice(hashes)
+        emit(branch, trunk)
+    return genesis, out

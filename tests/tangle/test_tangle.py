@@ -198,3 +198,115 @@ class TestTopology:
     def test_get_unknown_raises(self, tangle):
         with pytest.raises(KeyError):
             tangle.get(b"\x00" * 32)
+
+
+class TestDepthFromTipsAfterRetire:
+    """Regression: a fully-buried transaction (all its unapproved
+    descendants retired via ``retire_tip``, the pruned-approver case)
+    used to raise ``UnknownParentError`` from ``depth_from_tips``.  It
+    now reports the distance to the nearest retired burial boundary —
+    a lower bound on its true depth."""
+
+    def test_fully_buried_reports_boundary_distance(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a)
+        b = child_of(a, a, timestamp=2.0)
+        tangle.attach(b)
+        tangle.retire_tip(b.tx_hash)
+        assert tangle.tips() == []
+        assert tangle.depth_from_tips(b.tx_hash) == 0
+        assert tangle.depth_from_tips(a.tx_hash) == 1
+        assert tangle.depth_from_tips(tangle.genesis.tx_hash) == 2
+
+    def test_live_tip_wins_over_retired_boundary(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a)
+        retired = child_of(a, a, payload=b"r", timestamp=2.0)
+        tangle.attach(retired)
+        live = child_of(a, a, payload=b"l", timestamp=2.0)
+        tangle.attach(live)
+        tangle.retire_tip(retired.tx_hash)
+        # a reaches the live tip at distance 1: exact semantics, not
+        # the (equal) retired-boundary distance by accident — genesis
+        # is further from the boundary than from the live tip.
+        assert tangle.depth_from_tips(a.tx_hash) == 1
+        assert tangle.depth_from_tips(tangle.genesis.tx_hash) == 2
+        assert tangle.depth_from_tips(live.tx_hash) == 0
+
+    def test_retired_tip_revives_on_new_approver(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a)
+        tangle.retire_tip(a.tx_hash)
+        assert a.tx_hash in tangle.retired_tips()
+        b = child_of(a, a, timestamp=2.0)
+        tangle.attach(b)
+        assert a.tx_hash not in tangle.retired_tips()
+        assert tangle.depth_from_tips(a.tx_hash) == 1  # via live tip b
+
+    def test_unknown_hash_still_raises(self, tangle):
+        with pytest.raises(KeyError):
+            tangle.depth_from_tips(b"\x07" * 32)
+
+
+class TestScaleIndexes:
+    """The tip-pool / height indexes behind tips(), the bounded walk
+    and the lazy weight engine."""
+
+    def test_tip_sequence_is_cached_and_sorted(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a)
+        b = child_of(a, a, timestamp=2.0)
+        tangle.attach(b)
+        c = child_of(a, a, payload=b"c", timestamp=2.0)
+        tangle.attach(c)
+        first = tangle.tip_sequence()
+        assert first is tangle.tip_sequence()  # cache hit, no re-sort
+        assert list(first) == sorted([b.tx_hash, c.tx_hash])
+        d = child_of(b, c, timestamp=3.0)
+        tangle.attach(d)
+        assert tangle.tip_sequence() == (d.tx_hash,)  # invalidated
+
+    def test_tip_info_metadata(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a, arrival_time=4.0)
+        info = tangle.tip_info(a.tx_hash)
+        assert info.issuer == a.issuer.node_id
+        assert info.arrival_time == 4.0
+        assert info.height == 1
+        with pytest.raises(KeyError):
+            tangle.tip_info(tangle.genesis.tx_hash)  # no longer a tip
+
+    def test_newest_tip_arrival_tracks_pool(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a, arrival_time=5.0)
+        assert tangle.newest_tip_arrival() == 5.0
+        b = child_of(a, a, timestamp=2.0)
+        tangle.attach(b, arrival_time=2.0)
+        # a was approved: the only tip arrived at 2.0, even though a
+        # newer arrival exists elsewhere in the DAG.
+        assert tangle.newest_tip_arrival() == 2.0
+
+    def test_height_index(self, tangle):
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a)
+        b = child_of(a, tangle.genesis, timestamp=2.0)
+        tangle.attach(b)
+        assert tangle.max_height == 2
+        assert tangle.transactions_at_height(0) == (tangle.genesis.tx_hash,)
+        assert tangle.transactions_at_height(1) == (a.tx_hash,)
+        assert tangle.transactions_at_height(2) == (b.tx_hash,)
+        assert tangle.transactions_at_height(3) == ()
+
+    def test_lazy_weights_flush_on_read(self):
+        tangle = Tangle(make_genesis(), weight_flush_interval=100)
+        a = child_of(tangle.genesis, tangle.genesis)
+        tangle.attach(a)
+        b = child_of(a, a, timestamp=2.0)
+        tangle.attach(b)
+        assert tangle.pending_weight_count == 2
+        assert tangle.weight(tangle.genesis.tx_hash) == 3  # exact read
+        assert tangle.pending_weight_count == 0
+
+    def test_flush_interval_validation(self):
+        with pytest.raises(ValueError):
+            Tangle(make_genesis(), weight_flush_interval=0)
