@@ -31,6 +31,7 @@ from repro.crypto.keys import KeyPair
 from repro.tangle.tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle
 from repro.tangle.tip_selection import WeightedRandomWalkSelector
 from repro.tangle.transaction import Transaction
+from repro.telemetry.registry import MetricsRegistry
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -40,6 +41,7 @@ SIZES = (1_000, 10_000, 50_000)
 EAGER_SIZES = (1_000, 10_000)  # eager at 50k is quadratic — minutes
 WALK_SAMPLES = 30
 GENESIS_ENTRY_DEPTH = 10 ** 9  # deeper than any height -> genesis entry
+TELEMETRY_SIZE = 10_000  # instrumented (untimed) replay for histograms
 
 
 def _build_schedule(n, seed=5):
@@ -81,6 +83,44 @@ def _walk_latency(tangle, start_depth):
     return (time.perf_counter() - start) / WALK_SAMPLES
 
 
+def _histogram_dict(histogram):
+    merged = histogram.merged()
+    return {
+        "buckets": list(histogram.buckets),
+        "bucket_counts": merged.bucket_counts,
+        "count": merged.count,
+        "sum": merged.total,
+        "mean": merged.mean,
+        "min": merged.minimum if merged.count else None,
+        "max": merged.maximum if merged.count else None,
+    }
+
+
+def _instrumented_replay(genesis, txs):
+    """Re-run attaches and walks on a telemetry-enabled tangle.
+
+    Kept out of the timed regions: the timed runs use the null registry
+    (the production default), this pass only exists to capture the
+    flush-batch-size and walk-length distributions for the JSON report.
+    """
+    registry = MetricsRegistry(record_events=False)
+    tangle = Tangle(genesis, telemetry=registry)
+    for tx in txs:
+        tangle.attach(tx, arrival_time=tx.timestamp)
+    tangle.flush_weights()
+    selector = WeightedRandomWalkSelector(alpha=0.05, start_depth=20)
+    rng = random.Random(11)
+    for _ in range(WALK_SAMPLES):
+        selector.select(tangle, rng)
+    return {
+        "flush_batch_size": _histogram_dict(
+            registry.get("repro_tangle_flush_batch_size")),
+        "walk_length": _histogram_dict(
+            registry.get("repro_tangle_walk_length")),
+        "attach_total": registry.get("repro_tangle_attach_total").total,
+    }
+
+
 def _run():
     results = {"sizes": list(SIZES), "attach": {}, "walk": {},
                "differential_probes": 0}
@@ -113,6 +153,9 @@ def _run():
                 _walk_latency(lazy, GENESIS_ENTRY_DEPTH) * 1000,
             "max_height": lazy.max_height,
         }
+
+    genesis, txs = schedules[TELEMETRY_SIZE]
+    results["telemetry"] = _instrumented_replay(genesis, txs)
     return results
 
 
@@ -157,3 +200,9 @@ def test_bench_ext9_tangle_scale(benchmark, report_writer):
     # entry does.
     walk_10k = results["walk"]["10000"]
     assert walk_10k["bounded_ms"] < walk_10k["genesis_entry_ms"]
+    # The instrumented replay captured real distributions.
+    telem = results["telemetry"]
+    assert telem["attach_total"] == TELEMETRY_SIZE
+    assert telem["flush_batch_size"]["count"] > 0
+    # Each select() walks twice: once per parent (branch and trunk).
+    assert telem["walk_length"]["count"] == 2 * WALK_SAMPLES

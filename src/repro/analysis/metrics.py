@@ -9,8 +9,10 @@ formatting for benchmark output.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..telemetry.series import TimeSeries
 
 __all__ = [
     "ThroughputMeter",
@@ -21,9 +23,13 @@ __all__ = [
 ]
 
 
-@dataclass
 class ThroughputMeter:
     """Counts timestamped events and reports rates.
+
+    A thin adapter over :class:`~repro.telemetry.series.TimeSeries`:
+    every ``tps`` window resolves by bisecting the bounds (O(log n))
+    instead of rescanning all recorded events, so ``windowed_tps`` over
+    a long run is linear in the number of windows, not windows×events.
 
     >>> meter = ThroughputMeter()
     >>> for t in (0.5, 1.0, 1.5, 9.0):
@@ -32,21 +38,28 @@ class ThroughputMeter:
     0.4
     """
 
-    events: List[float] = field(default_factory=list)
+    def __init__(self, events: Iterable[float] = ()):
+        self._series = TimeSeries()
+        for timestamp in events:
+            self._series.append(timestamp)
 
     def record(self, timestamp: float) -> None:
-        self.events.append(timestamp)
+        self._series.append(timestamp)
+
+    @property
+    def events(self) -> List[float]:
+        """Recorded timestamps, in time order."""
+        return self._series.timestamps
 
     @property
     def count(self) -> int:
-        return len(self.events)
+        return len(self._series)
 
     def tps(self, *, start: float, end: float) -> float:
         """Events per second inside [start, end]."""
         if end <= start:
             raise ValueError("end must exceed start")
-        inside = sum(1 for t in self.events if start <= t <= end)
-        return inside / (end - start)
+        return self._series.window_count(start, end) / (end - start)
 
     def windowed_tps(self, *, start: float, end: float,
                      window: float) -> List[Tuple[float, float]]:

@@ -8,10 +8,11 @@ CreditRegistry` on a fixed grid and exposes the same four series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import List, Optional, Tuple
 
 from ..core.credit import CreditRegistry
+from ..telemetry.registry import coerce_registry
 
 __all__ = ["CreditTracePoint", "CreditTracer"]
 
@@ -30,15 +31,33 @@ class CreditTracePoint:
 class CreditTracer:
     """Samples one node's credit over time.
 
+    Besides its own point list (the Fig. 8 series), the tracer is an
+    adapter onto the unified telemetry registry: pass ``telemetry=`` and
+    every sample also lands in the ``repro_credit_traced_value`` gauge
+    (labelled per component) and the event stream, so credit traces
+    appear in the same JSONL/Prometheus exports as everything else.
+
     Args:
         registry: the registry being traced.
         node_id: whose credit to sample.
+        telemetry: optional :class:`~repro.telemetry.MetricsRegistry`
+            to mirror samples into.
     """
 
     registry: CreditRegistry
     node_id: bytes
     points: List[CreditTracePoint] = field(default_factory=list)
     events: List[Tuple[float, str, float]] = field(default_factory=list)
+    telemetry: InitVar = None
+
+    def __post_init__(self, telemetry):
+        metrics = coerce_registry(telemetry)
+        self._m_traced = metrics.gauge(
+            "repro_credit_traced_value",
+            "Last sampled credit trace value, by component")
+        self._m_trace_events = metrics.counter(
+            "repro_credit_trace_events_total",
+            "Trace annotations (attack markers, weight bars), by label")
 
     def sample(self, now: float) -> CreditTracePoint:
         """Record one sample at time *now*."""
@@ -50,6 +69,9 @@ class CreditTracer:
             negative=breakdown.negative,
         )
         self.points.append(point)
+        self._m_traced.set(point.credit, component="credit")
+        self._m_traced.set(point.positive, component="positive")
+        self._m_traced.set(point.negative, component="negative")
         return point
 
     def sample_range(self, start: float, end: float, step: float) -> None:
@@ -65,6 +87,7 @@ class CreditTracer:
         """Annotate the trace (transaction weights / attack markers —
         the bars of Fig. 8)."""
         self.events.append((time, label, value))
+        self._m_trace_events.inc(label=label)
 
     # -- series accessors (what the bench prints) -------------------------
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig9
     python -m repro fig10 --max-exponent 18
     python -m repro summary
+    python -m repro telemetry --scenario smoke --require-all
 
 Each experiment subcommand prints the same series the matching
 benchmark writes to ``benchmarks/out/``; ``workflow`` runs the Fig. 6
@@ -75,6 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
                        "reproduction report (markdown)")
     report.add_argument("--output", type=str, default=None,
                         help="also write the report to this file")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="run an instrumented scenario and dump "
+                          "JSONL/Prometheus telemetry artifacts")
+    telemetry.add_argument("--scenario", choices=["smoke"], default="smoke")
+    telemetry.add_argument("--seconds", type=float, default=40.0,
+                           help="reporting phase duration (simulated)")
+    telemetry.add_argument("--seed", type=int, default=42)
+    telemetry.add_argument("--out-dir", type=str,
+                           default="benchmarks/out/telemetry",
+                           help="directory for telemetry.jsonl and "
+                                "metrics.prom")
+    telemetry.add_argument("--require-all", action="store_true",
+                           help="fail if any registered metric was "
+                                "never emitted during the scenario")
 
     return parser
 
@@ -174,6 +190,39 @@ def _cmd_report(args) -> int:
     return 0 if "FAIL" not in report else 1
 
 
+def _cmd_telemetry(args) -> int:
+    import os
+
+    from .telemetry.exporters import (
+        export_jsonl,
+        render_summary,
+        to_prometheus_text,
+    )
+    from .telemetry.scenario import run_smoke_scenario
+
+    system = run_smoke_scenario(seed=args.seed, seconds=args.seconds)
+    registry = system.telemetry
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    jsonl_path = os.path.join(args.out_dir, "telemetry.jsonl")
+    prom_path = os.path.join(args.out_dir, "metrics.prom")
+    records = export_jsonl(jsonl_path, registry=registry,
+                           tracer=system.tracer)
+    with open(prom_path, "w") as handle:
+        handle.write(to_prometheus_text(registry))
+
+    print(render_summary(registry))
+    print(f"\n{records} records -> {jsonl_path}")
+    print(f"exposition -> {prom_path}")
+
+    missing = registry.unobserved()
+    if missing:
+        print("\nnever emitted: " + ", ".join(missing))
+        if args.require_all:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "workflow": _cmd_workflow,
     "fig7": _cmd_fig7,
@@ -182,6 +231,7 @@ _COMMANDS = {
     "fig10": _cmd_fig10,
     "summary": _cmd_summary,
     "report": _cmd_report,
+    "telemetry": _cmd_telemetry,
 }
 
 

@@ -33,6 +33,8 @@ from ..network.network import Network
 from ..network.simulator import EventScheduler
 from ..network.transport import BACKBONE_LINK, WIRELESS_SENSOR_LINK, LatencyModel
 from ..tangle.tip_selection import TipSelector, WeightedRandomWalkSelector
+from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
+from ..telemetry.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from ..nodes.full_node import FullNode
@@ -59,6 +61,11 @@ class BIoTConfig:
         wireless_link / backbone_link: latency models.
         enforce_pow: cryptographically verify PoW nonces at gateways.
         token_allocation: initial token balance minted per device.
+        telemetry: collect metrics and spans into a shared
+            :class:`~repro.telemetry.MetricsRegistry` /
+            :class:`~repro.telemetry.Tracer` pair (sim-clock
+            timestamps).  Off by default: the null registry keeps the
+            hot paths at zero measurable overhead.
     """
 
     gateway_count: int = 2
@@ -75,6 +82,7 @@ class BIoTConfig:
     backbone_link: LatencyModel = BACKBONE_LINK
     enforce_pow: bool = True
     token_allocation: int = 1000
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.gateway_count < 1:
@@ -93,7 +101,8 @@ class BIoTSystem:
                  network: Network, manager: ManagerNode,
                  gateways: List[FullNode], devices: List[LightNode],
                  device_keys: Dict[str, KeyPair],
-                 gateway_keys: Dict[str, KeyPair]):
+                 gateway_keys: Dict[str, KeyPair],
+                 telemetry=NULL_REGISTRY, tracer=NULL_TRACER):
         self.config = config
         self.scheduler = scheduler
         self.network = network
@@ -102,6 +111,8 @@ class BIoTSystem:
         self.devices = devices
         self.device_keys = device_keys
         self.gateway_keys = gateway_keys
+        self.telemetry = telemetry
+        self.tracer = tracer
         self.initialized = False
 
     # -- construction ------------------------------------------------------
@@ -117,9 +128,16 @@ class BIoTSystem:
 
         master = random.Random(config.seed)
         scheduler = EventScheduler()
+        if config.telemetry:
+            telemetry = MetricsRegistry(scheduler.clock)
+            tracer = Tracer(scheduler.clock)
+        else:
+            telemetry = NULL_REGISTRY
+            tracer = NULL_TRACER
         network = Network(
             scheduler,
             rng=random.Random(master.randrange(2 ** 63)),
+            telemetry=telemetry,
         )
 
         manager_keys = KeyPair.generate(seed=f"manager:{config.seed}".encode())
@@ -137,7 +155,8 @@ class BIoTSystem:
         )
 
         def new_consensus() -> CreditBasedConsensus:
-            registry = CreditRegistry(config.credit_params)
+            registry = CreditRegistry(config.credit_params,
+                                      telemetry=telemetry)
             policy: DifficultyPolicy = InverseDifficultyPolicy(
                 initial_difficulty=config.initial_difficulty,
             )
@@ -158,6 +177,7 @@ class BIoTSystem:
             tip_selector=new_tip_selector(),
             rng=random.Random(master.randrange(2 ** 63)),
             enforce_pow=config.enforce_pow,
+            telemetry=telemetry,
         )
         manager.consensus.registry.set_weight_provider(manager.tangle.weight)
         network.attach(manager)
@@ -176,6 +196,7 @@ class BIoTSystem:
                 tip_selector=new_tip_selector(),
                 rng=random.Random(master.randrange(2 ** 63)),
                 enforce_pow=config.enforce_pow,
+                telemetry=telemetry,
             )
             gateway.consensus.registry.set_weight_provider(gateway.tangle.weight)
             network.attach(gateway)
@@ -200,6 +221,7 @@ class BIoTSystem:
                 sensor=make_sensor(sensor_type, seed=config.seed + i),
                 report_interval=config.report_interval,
                 rng=random.Random(master.randrange(2 ** 63)),
+                telemetry=telemetry,
             )
             network.attach(device)
             network.set_link(address, gateway.address, config.wireless_link)
@@ -215,6 +237,8 @@ class BIoTSystem:
             devices=devices,
             device_keys=device_keys,
             gateway_keys=gateway_keys,
+            telemetry=telemetry,
+            tracer=tracer,
         )
 
     # -- workflow steps 1-3 --------------------------------------------------
@@ -222,21 +246,28 @@ class BIoTSystem:
     def initialize(self, *, settle_seconds: float = 2.0) -> None:
         """Run workflow steps 1–3: register gateways, authorise devices,
         distribute keys to sensitive-data devices."""
-        # Step 1: record gateway identifiers on the ledger.
-        self.manager.register_gateways(
-            [keys.public for keys in self.gateway_keys.values()]
-        )
-        # Step 2: authorise the device population (Eqn. 1).
-        self.manager.authorize_devices(
-            [keys.public for keys in self.device_keys.values()]
-        )
-        self.scheduler.run_until(self.scheduler.clock.now() + settle_seconds)
-        # Step 3: distribute keys to devices whose sensor is sensitive.
-        for device in self.devices:
-            if device.sensor.sensitive:
-                self.manager.distribute_key(device.address,
-                                            device.keypair.public)
-        self.scheduler.run_until(self.scheduler.clock.now() + settle_seconds)
+        with self.tracer.span("biot.initialize",
+                              gateways=len(self.gateways),
+                              devices=len(self.devices)):
+            with self.tracer.span("biot.register_and_authorize"):
+                # Step 1: record gateway identifiers on the ledger.
+                self.manager.register_gateways(
+                    [keys.public for keys in self.gateway_keys.values()]
+                )
+                # Step 2: authorise the device population (Eqn. 1).
+                self.manager.authorize_devices(
+                    [keys.public for keys in self.device_keys.values()]
+                )
+                self.scheduler.run_until(
+                    self.scheduler.clock.now() + settle_seconds)
+            with self.tracer.span("biot.key_distribution"):
+                # Step 3: distribute keys to sensitive-data devices.
+                for device in self.devices:
+                    if device.sensor.sensitive:
+                        self.manager.distribute_key(device.address,
+                                                    device.keypair.public)
+                self.scheduler.run_until(
+                    self.scheduler.clock.now() + settle_seconds)
         self.initialized = True
 
     # -- workflow steps 4-5 --------------------------------------------------
@@ -248,7 +279,8 @@ class BIoTSystem:
 
     def run_for(self, seconds: float) -> None:
         """Advance the simulation by *seconds*."""
-        self.scheduler.run_until(self.scheduler.clock.now() + seconds)
+        with self.tracer.span("biot.run", seconds=seconds):
+            self.scheduler.run_until(self.scheduler.clock.now() + seconds)
 
     # -- reporting -------------------------------------------------------
 
@@ -257,7 +289,7 @@ class BIoTSystem:
         accepted = sum(d.stats.submissions_accepted for d in self.devices)
         sent = sum(d.stats.submissions_sent for d in self.devices)
         full_nodes = [self.manager] + self.gateways
-        return {
+        summary: Dict[str, object] = {
             "time": self.scheduler.clock.now(),
             "devices": len(self.devices),
             "gateways": len(self.gateways),
@@ -272,3 +304,6 @@ class BIoTSystem:
             ),
             "key_distributions": self.manager.distributor.completed_distributions,
         }
+        if self.telemetry.enabled:
+            summary["metrics"] = self.telemetry.snapshot()
+        return summary

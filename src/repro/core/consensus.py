@@ -27,6 +27,7 @@ from ..tangle.errors import InvalidPowError
 from ..tangle.tangle import AttachResult, Tangle
 from ..tangle.transaction import Transaction
 from ..tangle.validation import DEFAULT_MAX_PARENT_AGE, detect_lazy_approval
+from ..telemetry.registry import DIFFICULTY_BUCKETS
 from .credit import CreditRegistry, MaliciousBehaviour
 
 __all__ = [
@@ -199,6 +200,18 @@ class CreditBasedConsensus:
         self.difficulty_tolerance = difficulty_tolerance
         self.lazy_detections = 0
         self.double_spend_reports = 0
+        telemetry = self.registry.telemetry
+        self._m_difficulty = telemetry.histogram(
+            "repro_credit_required_difficulty",
+            "Credit-assigned PoW difficulty handed to issuers",
+            buckets=DIFFICULTY_BUCKETS)
+        self._m_tier = telemetry.counter(
+            "repro_credit_difficulty_tier_total",
+            "Difficulty assignments by credit tier "
+            "(rewarded/neutral/punished vs the initial difficulty)")
+        self._baseline_difficulty = getattr(
+            self.policy, "initial_difficulty",
+            getattr(self.policy, "difficulty", None))
 
     # -- difficulty ------------------------------------------------------
 
@@ -207,7 +220,19 @@ class CreditBasedConsensus:
 
     def required_difficulty(self, node_id: bytes, now: float) -> int:
         """The PoW difficulty *node_id* must meet right now."""
-        return self.policy.difficulty_for(self.registry.credit(node_id, now))
+        difficulty = self.policy.difficulty_for(
+            self.registry.credit(node_id, now))
+        self._m_difficulty.observe(difficulty)
+        baseline = self._baseline_difficulty
+        if baseline is not None:
+            if difficulty < baseline:
+                tier = "rewarded"
+            elif difficulty > baseline:
+                tier = "punished"
+            else:
+                tier = "neutral"
+            self._m_tier.inc(tier=tier)
+        return difficulty
 
     # -- observation -----------------------------------------------------
 

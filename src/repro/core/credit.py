@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry.registry import coerce_registry
+
 __all__ = [
     "MaliciousBehaviour",
     "CreditParameters",
@@ -128,16 +130,30 @@ class CreditRegistry:
         weight_provider: callable mapping a transaction hash to its
             current tangle weight; defaults to weight 1 per transaction
             (pure activity counting).
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
+            ``repro_credit_*`` metrics (recorded transactions, penalty
+            events by behaviour, evaluation counts).
     """
 
     def __init__(self, params: Optional[CreditParameters] = None, *,
-                 weight_provider: Optional[Callable[[bytes], int]] = None):
+                 weight_provider: Optional[Callable[[bytes], int]] = None,
+                 telemetry=None):
         self.params = params if params is not None else CreditParameters()
         self._weight_provider = weight_provider
         self._history: Dict[bytes, _NodeHistory] = {}
         # Weights frozen at snapshot time for records whose transaction
         # is no longer resolvable (pruned) — see import_state.
         self._weight_overrides: Dict[bytes, float] = {}
+        self.telemetry = coerce_registry(telemetry)
+        self._m_transactions = self.telemetry.counter(
+            "repro_credit_transactions_total",
+            "Valid transactions recorded into credit histories")
+        self._m_penalties = self.telemetry.counter(
+            "repro_credit_penalties_total",
+            "Malicious-behaviour penalty events, by behaviour kind")
+        self._m_evaluations = self.telemetry.counter(
+            "repro_credit_evaluations_total",
+            "Credit evaluations (Eqn. 2 reads)")
 
     def set_weight_provider(self,
                             weight_provider: Callable[[bytes], int]) -> None:
@@ -161,11 +177,13 @@ class CreditRegistry:
                            timestamp: float) -> None:
         """Record a *valid* transaction issued by *node_id*."""
         self._node(node_id).transactions.append((timestamp, tx_hash))
+        self._m_transactions.inc()
 
     def record_malicious(self, node_id: bytes, behaviour: str,
                          timestamp: float) -> None:
         """Record a detected malicious behaviour (Eqn. 5 kinds)."""
         self._node(node_id).malicious.append((timestamp, behaviour))
+        self._m_penalties.inc(behaviour=behaviour)
 
     def known_nodes(self) -> List[bytes]:
         return sorted(self._history)
@@ -223,6 +241,7 @@ class CreditRegistry:
 
     def credit(self, node_id: bytes, now: float) -> float:
         """Cr_i (Eqn. 2)."""
+        self._m_evaluations.inc()
         return (
             self.params.lambda1 * self.positive_credit(node_id, now)
             + self.params.lambda2 * self.negative_credit(node_id, now)

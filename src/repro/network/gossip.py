@@ -16,19 +16,37 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Generic, Iterable, List, Set, Tuple, TypeVar
 
+from ..telemetry.registry import coerce_registry
+
 __all__ = ["GossipRelay", "SolidificationBuffer"]
 
 ItemT = TypeVar("ItemT")
 
 
 class GossipRelay:
-    """Duplicate-suppressed flooding over an explicit peer list."""
+    """Duplicate-suppressed flooding over an explicit peer list.
 
-    def __init__(self, peers: Iterable[str] = ()):
+    Args:
+        peers: initial peer addresses.
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
+            gossip counters (``repro_network_gossip_*``).
+        node: label value identifying the owning node in the metrics.
+    """
+
+    def __init__(self, peers: Iterable[str] = (), *, telemetry=None,
+                 node: str = ""):
         self.peers: List[str] = list(peers)
         self._seen: Set[bytes] = set()
         self.relays = 0
         self.duplicates_suppressed = 0
+        self._node_label = node
+        registry = coerce_registry(telemetry)
+        self._m_relays = registry.counter(
+            "repro_network_gossip_relays_total",
+            "Gossip flood fan-outs initiated, by node")
+        self._m_duplicates = registry.counter(
+            "repro_network_gossip_duplicates_total",
+            "Gossip items suppressed as already seen, by node")
 
     def add_peer(self, address: str) -> None:
         if address not in self.peers:
@@ -42,6 +60,7 @@ class GossipRelay:
         """Record *item_id*; returns True when it is new."""
         if item_id in self._seen:
             self.duplicates_suppressed += 1
+            self._m_duplicates.inc(node=self._node_label)
             return False
         self._seen.add(item_id)
         return True
@@ -52,6 +71,7 @@ class GossipRelay:
     def relay_targets(self, item_id: bytes, *, exclude: str = None) -> List[str]:
         """Peers to forward a newly seen item to (exclude its source)."""
         self.relays += 1
+        self._m_relays.inc(node=self._node_label)
         return [peer for peer in self.peers if peer != exclude]
 
     @property

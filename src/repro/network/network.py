@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..telemetry.registry import SECONDS_BUCKETS, coerce_registry
 from .simulator import EventScheduler
 from .transport import LOCAL_LINK, LatencyModel, Message
 
@@ -92,11 +93,15 @@ class Network:
         default_link: latency model for node pairs without an explicit
             link configured.
         rng: randomness for latency jitter and loss (seed it!).
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
+            ``repro_network_*`` metrics (sent/delivered/dropped message
+            counts by kind, delivery latency distribution).
     """
 
     def __init__(self, scheduler: EventScheduler, *,
                  default_link: LatencyModel = LOCAL_LINK,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 telemetry=None):
         self.scheduler = scheduler
         self.default_link = default_link
         self._rng = rng if rng is not None else random.Random()
@@ -108,6 +113,20 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self._taps: List[Callable[[Message], None]] = []
+        self.telemetry = coerce_registry(telemetry)
+        self._m_sent = self.telemetry.counter(
+            "repro_network_messages_sent_total",
+            "Messages handed to the network, by kind")
+        self._m_delivered = self.telemetry.counter(
+            "repro_network_messages_delivered_total",
+            "Messages delivered to their recipient, by kind")
+        self._m_dropped = self.telemetry.counter(
+            "repro_network_messages_dropped_total",
+            "Messages lost (down node, cut link, loss model)")
+        self._m_latency = self.telemetry.histogram(
+            "repro_network_delivery_latency_seconds",
+            "Send-to-delivery simulated latency",
+            buckets=SECONDS_BUCKETS)
 
     # -- topology --------------------------------------------------------
 
@@ -173,18 +192,19 @@ class Network:
         recipient is unknown, or the latency model loses the packet.
         """
         self.messages_sent += 1
+        self._m_sent.inc(kind=kind)
         if recipient not in self._nodes:
-            self.messages_dropped += 1
+            self._count_drop(kind)
             return False
         if sender in self._down or recipient in self._down:
-            self.messages_dropped += 1
+            self._count_drop(kind)
             return False
         if (sender, recipient) in self._cut_links:
-            self.messages_dropped += 1
+            self._count_drop(kind)
             return False
         delay = self.link_for(sender, recipient).sample_delay(self._rng, size_bytes)
         if delay is None:
-            self.messages_dropped += 1
+            self._count_drop(kind)
             return False
         message = Message(
             sender=sender,
@@ -215,6 +235,10 @@ class Network:
             if self.send(sender, addr, kind, body, size_bytes=size_bytes)
         )
 
+    def _count_drop(self, kind: str) -> None:
+        self.messages_dropped += 1
+        self._m_dropped.inc(kind=kind)
+
     def _deliver(self, message: Message) -> None:
         # Re-check the RECIPIENT's liveness at delivery time: a node
         # that crashed while the message was in flight never sees it.
@@ -222,13 +246,16 @@ class Network:
         # transmitted keeps propagating even if its sender died, which
         # is what closes the crash-time replication window.
         if message.recipient in self._down:
-            self.messages_dropped += 1
+            self._count_drop(message.kind)
             return
         node = self._nodes.get(message.recipient)
         if node is None:  # pragma: no cover - detach is not supported
-            self.messages_dropped += 1
+            self._count_drop(message.kind)
             return
         self.messages_delivered += 1
+        self._m_delivered.inc(kind=message.kind)
+        self._m_latency.observe(
+            self.scheduler.clock.now() - message.sent_at)
         for tap in self._taps:
             tap(message)
         node._deliver(message)

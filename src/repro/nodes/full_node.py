@@ -45,6 +45,7 @@ from ..tangle.errors import (
 )
 from ..tangle.ledger import TokenLedger
 from ..tangle.tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle
+from ..telemetry.registry import coerce_registry
 from ..tangle.tip_selection import TipSelector, UniformRandomTipSelector
 from ..tangle.transaction import Transaction, TransactionKind
 from ..tangle.validation import crypto_validator
@@ -102,6 +103,10 @@ class FullNode(NetworkNode):
             Weights stay exact at every read; the interval only trades
             flush frequency against per-attach cost on the gossip/sync
             ingest hot path.
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` shared
+            across the deployment; threaded into this node's tangle,
+            gossip relay and solidification accounting.  ``None`` keeps
+            the zero-overhead null registry.
     """
 
     def __init__(self, address: str, genesis: Transaction, *,
@@ -111,8 +116,10 @@ class FullNode(NetworkNode):
                  rng: Optional[random.Random] = None,
                  enforce_pow: bool = True,
                  quality_monitor=None,
-                 weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL):
+                 weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL,
+                 telemetry=None):
         super().__init__(address)
+        self.telemetry = coerce_registry(telemetry)
         self.quality_monitor = quality_monitor
         self.profile = profile
         self.rng = rng if rng is not None else random.Random()
@@ -139,11 +146,15 @@ class FullNode(NetworkNode):
         self.weight_flush_interval = weight_flush_interval
         self.tangle = Tangle(genesis, validators=[
             crypto_validator(allow_simulated_pow=not enforce_pow),
-        ], weight_flush_interval=weight_flush_interval)
-        self.relay = GossipRelay()
+        ], weight_flush_interval=weight_flush_interval,
+            telemetry=self.telemetry)
+        self.relay = GossipRelay(telemetry=self.telemetry, node=address)
         self.relay.mark_seen(genesis.tx_hash)
         self.solidification: SolidificationBuffer = SolidificationBuffer()
         self.stats = FullNodeStats()
+        self._m_gossip_duplicates = self.telemetry.counter(
+            "repro_network_gossip_duplicates_total",
+            "Gossip items suppressed as already seen, by node")
         # Transactions at or before this ledger time have their credit
         # effects already baked into the registry (imported snapshot
         # state); re-ingesting them must not re-record behaviour.
@@ -365,6 +376,7 @@ class FullNode(NetworkNode):
         if self.relay.has_seen(tx.tx_hash) and tx.tx_hash in self.tangle:
             if source is not None:
                 self.stats.gossip_duplicates += 1
+                self._m_gossip_duplicates.inc(node=self.address)
             return False, "duplicate"
         if admit:
             admission_error = self._check_admission(tx)
@@ -380,6 +392,7 @@ class FullNode(NetworkNode):
             return False, "parked-missing-parent"
         except DuplicateTransactionError:
             self.stats.gossip_duplicates += 1
+            self._m_gossip_duplicates.inc(node=self.address)
             return False, "duplicate"
         except ValidationError as exc:
             self.stats.count_rejection(exc)

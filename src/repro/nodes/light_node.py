@@ -36,6 +36,7 @@ from ..network.network import NetworkNode
 from ..network.transport import Message
 from ..pow.engine import PowEngine
 from ..tangle.transaction import Transaction, TransactionKind
+from ..telemetry.registry import coerce_registry
 
 __all__ = ["LightNode", "LightNodeStats"]
 
@@ -90,6 +91,9 @@ class LightNode(NetworkNode):
             each reading individually (the paper's behaviour); larger
             values amortise PoW/signature/approval cost across readings
             at the price of data latency (Ext-7 sweeps this).
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` shared
+            across the deployment (PoW engine metrics, key-install
+            counts).  ``None`` keeps the zero-overhead null registry.
     """
 
     def __init__(self, address: str, keypair: KeyPair, *, gateway: str,
@@ -99,7 +103,8 @@ class LightNode(NetworkNode):
                  rng: Optional[random.Random] = None,
                  protect_group: str = "sensitive",
                  request_timeout: float = 10.0,
-                 batch_size: int = 1):
+                 batch_size: int = 1,
+                 telemetry=None):
         super().__init__(address)
         if report_interval <= 0:
             raise ValueError("report_interval must be positive")
@@ -121,6 +126,10 @@ class LightNode(NetworkNode):
         self.key_agent = DeviceKeyAgent(keypair, manager)
         self.protector = DataProtector()
         self.stats = LightNodeStats()
+        self.telemetry = coerce_registry(telemetry)
+        self._m_keys_installed = self.telemetry.counter(
+            "repro_keydist_keys_installed_total",
+            "Group keys installed on devices (M3 verified)")
         self.engine: Optional[PowEngine] = None
         self._running = False
         self._request_counter = 0
@@ -133,6 +142,7 @@ class LightNode(NetworkNode):
         self.engine = PowEngine(
             self.profile, network.scheduler.clock,
             rng=self.rng, advance_clock=False,
+            telemetry=self.telemetry,
         )
 
     def start(self, *, initial_delay: float = 0.0) -> None:
@@ -343,3 +353,4 @@ class LightNode(NetworkNode):
         except KeyDistributionError:
             return
         self.protector.install_key(group, self.key_agent.key_for(group))
+        self._m_keys_installed.inc()

@@ -26,6 +26,7 @@ from ..crypto.keys import KeyPair, PublicIdentity
 from ..network.transport import Message
 from ..pow.engine import PowEngine
 from ..tangle.transaction import Transaction, TransactionKind
+from ..telemetry.registry import SECONDS_BUCKETS
 from .full_node import FullNode
 
 __all__ = ["ManagerNode"]
@@ -52,7 +53,18 @@ class ManagerNode(FullNode):
         self.keypair = keypair
         self.distributor = ManagerKeyDistributor(keypair)
         self._keydist_sessions: Dict[bytes, str] = {}  # session id -> device addr
+        self._keydist_started: Dict[bytes, float] = {}  # session id -> start time
         self.engine: Optional[PowEngine] = None
+        self._m_keydist_initiated = self.telemetry.counter(
+            "repro_keydist_initiated_total",
+            "Key-distribution handshakes initiated (M1 sent)")
+        self._m_keydist_completed = self.telemetry.counter(
+            "repro_keydist_completed_total",
+            "Key-distribution handshakes completed (M2 verified, M3 sent)")
+        self._m_keydist_roundtrip = self.telemetry.histogram(
+            "repro_keydist_roundtrip_seconds",
+            "Manager-observed handshake round-trip (initiate to M2 verified)",
+            buckets=SECONDS_BUCKETS)
 
     # -- genesis -----------------------------------------------------------
 
@@ -84,6 +96,7 @@ class ManagerNode(FullNode):
         self.engine = PowEngine(
             self.profile, network.scheduler.clock,
             rng=self.rng, advance_clock=False,
+            telemetry=self.telemetry,
         )
 
     def _issue_transaction(self, kind: str, payload: bytes) -> Transaction:
@@ -156,6 +169,8 @@ class ManagerNode(FullNode):
             device, now=self._now(), group=group
         )
         self._keydist_sessions[session_id] = device_address
+        self._keydist_started[session_id] = self._now()
+        self._m_keydist_initiated.inc()
         self.send(device_address, "keydist_m1", {
             "session_id": session_id,
             "m1": m1,
@@ -181,6 +196,10 @@ class ManagerNode(FullNode):
             )
         except KeyDistributionError:
             return  # forged/stale response: abandon the session
+        started = self._keydist_started.pop(session_id, None)
+        if started is not None:
+            self._m_keydist_completed.inc()
+            self._m_keydist_roundtrip.observe(self._now() - started)
         self.send(device_address, "keydist_m3", {"m3": m3}, size_bytes=len(m3))
 
     def key_distribution_complete(self, device_count: int) -> bool:

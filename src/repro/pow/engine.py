@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..devices.clock import Clock, SimulatedClock
 from ..devices.profiles import DeviceProfile
+from ..telemetry.registry import DIFFICULTY_BUCKETS, SECONDS_BUCKETS, coerce_registry
 from . import hashcash
 from .hashcash import ProofOfWork
 
@@ -62,12 +63,16 @@ class PowEngine:
             simulations set False and instead schedule a completion
             event ``elapsed_seconds`` in the future, so concurrent
             nodes' compute overlaps correctly.
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
+            ``repro_pow_*`` metrics (attempts, solves, solve-time and
+            difficulty distributions, labelled by hardware profile).
     """
 
     def __init__(self, profile: DeviceProfile, clock: Clock = None, *,
                  rng: random.Random = None,
                  real_difficulty_limit: int = DEFAULT_REAL_DIFFICULTY_LIMIT,
-                 advance_clock: bool = True):
+                 advance_clock: bool = True,
+                 telemetry=None):
         self.profile = profile
         self.clock = clock if clock is not None else SimulatedClock()
         self._rng = rng if rng is not None else random.Random()
@@ -78,6 +83,20 @@ class PowEngine:
         self.total_attempts = 0
         self.total_seconds = 0.0
         self.solve_count = 0
+        self.telemetry = coerce_registry(telemetry)
+        self._profile_label = getattr(profile, "name", "unknown")
+        self._m_solves = self.telemetry.counter(
+            "repro_pow_solves_total", "PoW puzzles solved")
+        self._m_attempts = self.telemetry.counter(
+            "repro_pow_attempts_total", "Hash attempts spent on PoW")
+        self._m_seconds = self.telemetry.histogram(
+            "repro_pow_solve_seconds",
+            "Simulated seconds per PoW solve, by hardware profile",
+            buckets=SECONDS_BUCKETS)
+        self._m_difficulty = self.telemetry.histogram(
+            "repro_pow_difficulty",
+            "Difficulty of solved puzzles (credit-assigned)",
+            buckets=DIFFICULTY_BUCKETS)
 
     def solve(self, challenge: bytes, difficulty: int) -> PowResult:
         """Solve *challenge* at *difficulty* and charge the cost.
@@ -100,6 +119,10 @@ class PowEngine:
         self.total_attempts += proof.attempts
         self.total_seconds += elapsed
         self.solve_count += 1
+        self._m_solves.inc(profile=self._profile_label)
+        self._m_attempts.inc(proof.attempts, profile=self._profile_label)
+        self._m_seconds.observe(elapsed, profile=self._profile_label)
+        self._m_difficulty.observe(difficulty, profile=self._profile_label)
         return PowResult(
             proof=proof,
             elapsed_seconds=elapsed,

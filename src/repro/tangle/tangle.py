@@ -47,6 +47,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
+from ..telemetry.registry import COUNT_BUCKETS, coerce_registry
 from .errors import (
     DuplicateTransactionError,
     UnknownParentError,
@@ -129,13 +130,18 @@ class Tangle:
             batched weight flush on attach.  ``1`` degenerates to the
             classic eager per-attach ancestor walk (useful as the exact
             baseline in differential tests and benchmarks).
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` to emit
+            ``repro_tangle_*`` metrics into (attach counts, flush batch
+            sizes, walk lengths, cache hits); ``None`` means the
+            zero-overhead null registry.
     """
 
     def __init__(self, genesis: Transaction, *,
                  validators: Optional[List[Validator]] = None,
                  track_cumulative_weight: bool = True,
                  entry_points: Optional[Dict[bytes, float]] = None,
-                 weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL):
+                 weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL,
+                 telemetry=None):
         if not genesis.is_genesis:
             raise ValueError("tangle must be seeded with a genesis transaction")
         if genesis.branch != ZERO_HASH or genesis.trunk != ZERO_HASH:
@@ -174,6 +180,36 @@ class Tangle:
         self._version: int = 0
         self._depth_map: Dict[bytes, int] = {}
         self._depth_version: int = -1
+
+        self.telemetry = coerce_registry(telemetry)
+        self._m_attach = self.telemetry.counter(
+            "repro_tangle_attach_total", "Transactions attached")
+        self._m_flush = self.telemetry.counter(
+            "repro_tangle_flush_total", "Batched weight-flush epochs")
+        self._m_flush_batch = self.telemetry.histogram(
+            "repro_tangle_flush_batch_size",
+            "Dirty transactions propagated per flush epoch",
+            buckets=COUNT_BUCKETS)
+        self._m_weight_reads = self.telemetry.counter(
+            "repro_tangle_weight_reads_total", "Cumulative-weight reads")
+        self._m_tip_cache_hit = self.telemetry.counter(
+            "repro_tangle_tip_cache_hits_total",
+            "tip_sequence() served from the sorted cache")
+        self._m_tip_cache_miss = self.telemetry.counter(
+            "repro_tangle_tip_cache_misses_total",
+            "tip_sequence() rebuilds of the sorted cache")
+        self._m_tips_gauge = self.telemetry.gauge(
+            "repro_tangle_tips", "Current tip-pool size")
+        self._m_walk_length = self.telemetry.histogram(
+            "repro_tangle_walk_length",
+            "Steps per weighted-random-walk tip selection",
+            buckets=COUNT_BUCKETS)
+        self._m_depth_cache_hit = self.telemetry.counter(
+            "repro_tangle_depth_cache_hits_total",
+            "depth_from_tips() served from the cached BFS map")
+        self._m_depth_cache_miss = self.telemetry.counter(
+            "repro_tangle_depth_cache_misses_total",
+            "depth_from_tips() multi-source BFS rebuilds")
 
         self.genesis = genesis
         self._insert(genesis, arrival_time=genesis.timestamp, parents=())
@@ -220,7 +256,10 @@ class Tangle:
         last call, so selectors sampling an unchanged pool pay O(1).
         """
         if self._tips_cache is None:
+            self._m_tip_cache_miss.inc()
             self._tips_cache = tuple(sorted(self._tips))
+        else:
+            self._m_tip_cache_hit.inc()
         return self._tips_cache
 
     def is_tip(self, tx_hash: bytes) -> bool:
@@ -318,6 +357,7 @@ class Tangle:
         Always exact: pending batched contributions are flushed before
         the read.
         """
+        self._m_weight_reads.inc()
         if not self._track_weight:
             return self._compute_cumulative_weight(tx_hash)
         if self._pending_weight:
@@ -347,6 +387,8 @@ class Tangle:
         if not pending:
             return 0
         self._pending_weight = []
+        self._m_flush.inc()
+        self._m_flush_batch.observe(len(pending))
         weights = self._cumulative_weight
         if len(pending) == 1:
             for ancestor in self.ancestors(pending[0]):
@@ -402,7 +444,10 @@ class Tangle:
         if tx_hash not in self._transactions:
             raise KeyError(tx_hash)
         if self._depth_version != self._version:
+            self._m_depth_cache_miss.inc()
             self._rebuild_depth_map()
+        else:
+            self._m_depth_cache_hit.inc()
         return self._depth_map[tx_hash]
 
     def _rebuild_depth_map(self) -> None:
@@ -449,6 +494,12 @@ class Tangle:
         """All attached transactions issued by *node_id*, arrival order."""
         return [tx for tx in self if tx.issuer.node_id == node_id]
 
+    def observe_walk(self, steps: int) -> None:
+        """Record one tip-selection walk of *steps* hops — the seam
+        selectors use so walk-length telemetry lands next to the
+        tangle's other hot-path metrics."""
+        self._m_walk_length.observe(steps)
+
     # -- attach ----------------------------------------------------------
 
     def attach(self, tx: Transaction, *, arrival_time: Optional[float] = None) -> AttachResult:
@@ -481,6 +532,7 @@ class Tangle:
             for p in parents
         )
         self._insert(tx, arrival_time=when, parents=parents)
+        self._m_attach.inc()
         return AttachResult(
             transaction=tx,
             arrival_time=when,
@@ -523,6 +575,7 @@ class Tangle:
             self._retired.discard(parent)
         self._tips_cache = None
         self._version += 1
+        self._m_tips_gauge.set(len(self._tips))
         heapq.heappush(self._tip_arrival_heap, (-arrival_time, tx_hash))
         self._cumulative_weight[tx_hash] = 1
         if self._track_weight and parents:

@@ -116,11 +116,13 @@ class WeightedRandomWalkSelector(TipSelector):
 
     def _walk(self, tangle: Tangle, start: bytes, rng: random.Random) -> bytes:
         current = start
+        steps = 0
         while not tangle.is_tip(current):
             children = sorted(tangle.approvers(current))
             if not children:
                 # Retired snapshot boundary: legal (if stale) to approve.
-                return current
+                break
+            steps += 1
             if len(children) == 1:
                 current = children[0]
                 continue
@@ -129,6 +131,7 @@ class WeightedRandomWalkSelector(TipSelector):
             # Subtract the max before exponentiating for numeric safety.
             scores = [math.exp(self.alpha * (w - top)) for w in weights]
             current = rng.choices(children, weights=scores, k=1)[0]
+        tangle.observe_walk(steps)
         return current
 
 

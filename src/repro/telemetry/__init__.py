@@ -1,0 +1,55 @@
+"""Unified telemetry: metrics registry, sim-clock tracing, exporters.
+
+The observability layer for the whole reproduction.  One
+:class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+and one :class:`Tracer` (nested spans in simulated time) serve a
+deployment; subsystems receive the registry through a ``telemetry=``
+knob and instrument their hot paths.  Disabled means
+:data:`NULL_REGISTRY` — inert singleton instruments whose calls are
+empty, so tier-1 timings are unaffected.
+
+Metric names follow ``repro_<subsystem>_<name>`` with subsystems
+``tangle``, ``pow``, ``network``, ``keydist`` and ``credit`` — the
+catalog lives in ``docs/TELEMETRY.md``.
+"""
+
+from .registry import (
+    COUNT_BUCKETS,
+    DIFFICULTY_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricEvent,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    coerce_registry,
+)
+from .series import TimeSeries
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .exporters import export_jsonl, render_summary, to_prometheus_text
+from .scenario import run_smoke_scenario
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DIFFICULTY_BUCKETS",
+    "SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricEvent",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "TimeSeries",
+    "Tracer",
+    "coerce_registry",
+    "export_jsonl",
+    "render_summary",
+    "run_smoke_scenario",
+    "to_prometheus_text",
+]

@@ -1,0 +1,413 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` serves a whole deployment.  Subsystems ask
+it for named instruments once (at construction time) and then drive
+them on their hot paths; the registry keeps one series per label set
+and — when event recording is on — an append-only event log whose
+timestamps come from the *simulation* clock, never the wall clock, so
+telemetry is as deterministic as the experiment it observes.
+
+Metric names follow the ``repro_<subsystem>_<name>`` scheme (see
+``docs/TELEMETRY.md``); the registry enforces the character set and
+rejects re-registration under a different kind or help string.
+
+Disabling telemetry must cost nothing.  :class:`NullRegistry` hands out
+singleton null instruments whose methods are empty one-liners, so an
+instrumented hot path pays one attribute load and one no-op call —
+there is no branching, no label hashing, no allocation.  Tier-1 tests
+prove null-vs-absent equivalence (``tests/telemetry``).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricEvent",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SECONDS_BUCKETS",
+    "COUNT_BUCKETS",
+    "DIFFICULTY_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0,
+)
+"""Default edges for simulated-seconds histograms (latency, PoW time)."""
+
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+"""Default edges for size/length histograms (batches, walk lengths)."""
+
+DIFFICULTY_BUCKETS: Tuple[float, ...] = (2, 4, 6, 8, 10, 12, 16, 20, 24)
+"""Edges matching the PoW difficulty range [1, 24]."""
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class MetricEvent:
+    """One observation, as recorded in the event log (JSONL source)."""
+
+    time: float
+    name: str
+    labels: LabelSet
+    value: float
+
+
+class Instrument:
+    """Base class: a named metric with one series per label set."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str):
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.observed = False
+
+    def _record(self, value: float, labels: Dict[str, str]) -> LabelSet:
+        self.observed = True
+        return self._registry._log_event(self.name, value, labels)
+
+    def series(self) -> Dict[LabelSet, object]:
+        """Label set -> current value (shape depends on the kind)."""
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help):
+        super().__init__(registry, name, help)
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._record(amount, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelSet, float]:
+        return dict(self._values)
+
+
+class Gauge(Instrument):
+    """A value that can move both ways (queue depths, pool sizes)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help):
+        super().__init__(registry, name, help)
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._record(value, labels)
+        self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._record(amount, labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelSet, float]:
+        return dict(self._values)
+
+
+@dataclass
+class HistogramSeries:
+    """Per-label-set histogram state: fixed cumulative-style buckets."""
+
+    bucket_counts: List[int]
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram(Instrument):
+    """Fixed-bucket distribution; edges are upper bounds, +Inf implied."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help,
+                 buckets: Sequence[float] = SECONDS_BUCKETS):
+        super().__init__(registry, name, help)
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.buckets = edges
+        self._series: Dict[LabelSet, HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._record(value, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = HistogramSeries(bucket_counts=[0] * (len(self.buckets) + 1))
+            self._series[key] = series
+        series.bucket_counts[bisect_left(self.buckets, value)] += 1
+        series.count += 1
+        series.total += value
+        series.minimum = min(series.minimum, value)
+        series.maximum = max(series.maximum, value)
+
+    def snapshot(self, **labels: str) -> Optional[HistogramSeries]:
+        return self._series.get(_label_key(labels))
+
+    def merged(self) -> HistogramSeries:
+        """All label sets folded into one distribution."""
+        merged = HistogramSeries(bucket_counts=[0] * (len(self.buckets) + 1))
+        for series in self._series.values():
+            for i, c in enumerate(series.bucket_counts):
+                merged.bucket_counts[i] += c
+            merged.count += series.count
+            merged.total += series.total
+            merged.minimum = min(merged.minimum, series.minimum)
+            merged.maximum = max(merged.maximum, series.maximum)
+        return merged
+
+    def series(self) -> Dict[LabelSet, HistogramSeries]:
+        return dict(self._series)
+
+
+class MetricsRegistry:
+    """Creates and owns instruments; the single telemetry sink.
+
+    Args:
+        clock: time source for the event log — a callable returning
+            seconds, or anything with a ``now()`` method (e.g. a
+            :class:`~repro.devices.clock.SimulatedClock`).  Defaults to
+            a frozen zero clock, which keeps standalone registries (unit
+            tests, adapters) deterministic.
+        record_events: append every observation to :attr:`events` for
+            the JSONL exporter.  Aggregated series are always kept.
+        max_events: event-log bound; the oldest half is dropped on
+            overflow (``events_dropped`` counts what was lost).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: object = None, *, record_events: bool = True,
+                 max_events: int = 200_000):
+        if clock is None:
+            self._time_fn: Callable[[], float] = lambda: 0.0
+        elif callable(clock):
+            self._time_fn = clock
+        else:
+            self._time_fn = clock.now
+        if max_events < 2:
+            raise ValueError("max_events must be >= 2")
+        self.record_events = record_events
+        self.max_events = max_events
+        self.events: List[MetricEvent] = []
+        self.events_dropped = 0
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- instrument creation ---------------------------------------------
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> Instrument:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"bad metric name {name!r} (want lowercase_snake_case)"
+            )
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"{name} already registered as a {existing.kind}"
+                )
+            return existing
+        instrument = cls(self, name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter *name* (idempotent)."""
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = SECONDS_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    # -- event log --------------------------------------------------------
+
+    def _log_event(self, name: str, value: float,
+                   labels: Dict[str, str]) -> LabelSet:
+        key = _label_key(labels)
+        if self.record_events:
+            if len(self.events) >= self.max_events:
+                dropped = len(self.events) // 2
+                self.events = self.events[dropped:]
+                self.events_dropped += dropped
+            self.events.append(
+                MetricEvent(self._time_fn(), name, key, value)
+            )
+        return key
+
+    def now(self) -> float:
+        """The registry's current (simulated) time."""
+        return self._time_fn()
+
+    # -- introspection ----------------------------------------------------
+
+    def instruments(self) -> List[Instrument]:
+        """Every registered instrument, sorted by name."""
+        return [self._instruments[n] for n in sorted(self._instruments)]
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def unobserved(self) -> List[str]:
+        """Names of instruments registered but never driven — the CI
+        coverage check: an instrument nothing emits to is dead code or
+        a scenario gap."""
+        return sorted(
+            name for name, inst in self._instruments.items()
+            if not inst.observed
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every series (the summary() payload)."""
+        out: Dict[str, object] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram):
+                merged = inst.merged()
+                out[inst.name] = {
+                    "kind": inst.kind,
+                    "count": merged.count,
+                    "sum": merged.total,
+                    "mean": merged.mean,
+                    "min": merged.minimum if merged.count else None,
+                    "max": merged.maximum if merged.count else None,
+                }
+            else:
+                out[inst.name] = {
+                    "kind": inst.kind,
+                    "series": {
+                        ",".join(f"{k}={v}" for k, v in key) or "_": value
+                        for key, value in inst.series().items()
+                    },
+                }
+        return out
+
+
+# -- the disabled path ------------------------------------------------------
+
+class _NullInstrument:
+    """Absorbs every instrument method as a no-op."""
+
+    observed = False
+    name = "null"
+    help = ""
+    kind = "null"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def set(self, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, value: float, **labels: str) -> None:
+        pass
+
+    def value(self, **labels: str) -> float:
+        return 0.0
+
+    def series(self) -> Dict[LabelSet, float]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The zero-overhead disabled registry.
+
+    Every factory returns the same inert instrument; hot paths keep
+    their instrument references and pay only an empty method call.
+    ``enabled`` lets code skip *computing* expensive observations
+    entirely (never required for correctness, only for speed).
+    """
+
+    enabled = False
+    events: List[MetricEvent] = []
+    events_dropped = 0
+    record_events = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = ()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> List[Instrument]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def unobserved(self) -> List[str]:
+        return []
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def now(self) -> float:
+        return 0.0
+
+
+NULL_REGISTRY = NullRegistry()
+"""Shared inert registry: the default for every ``telemetry=`` knob."""
+
+
+def coerce_registry(telemetry: object) -> object:
+    """Normalise a ``telemetry=`` argument: None -> NULL_REGISTRY."""
+    return NULL_REGISTRY if telemetry is None else telemetry

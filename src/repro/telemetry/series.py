@@ -1,0 +1,94 @@
+"""Timestamped event series with O(log n) window queries.
+
+The accumulation layer shared by the rate/trace adapters in
+:mod:`repro.analysis`: a :class:`TimeSeries` keeps (time, value) points
+ordered by time — appends in time order are O(1), out-of-order inserts
+fall back to ``bisect.insort`` — and answers *window* questions
+(count/sum/rate inside [start, end]) by bisecting the bounds instead of
+rescanning every point.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import List, Tuple
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Time-ordered (timestamp, value) points with bisect windowing."""
+
+    def __init__(self):
+        self._times: List[float] = []
+        self._values: List[float] = []
+        # Prefix sums make window_sum O(log n) too; rebuilt lazily
+        # after out-of-order inserts.
+        self._prefix: List[float] = [0.0]
+        self._prefix_fresh = True
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, timestamp: float, value: float = 1.0) -> None:
+        """Add one point (fast path: timestamps arrive in order)."""
+        t = float(timestamp)
+        if not self._times or t >= self._times[-1]:
+            self._times.append(t)
+            self._values.append(float(value))
+            if self._prefix_fresh:
+                self._prefix.append(self._prefix[-1] + float(value))
+            return
+        index = bisect_right(self._times, t)
+        self._times.insert(index, t)
+        self._values.insert(index, float(value))
+        self._prefix_fresh = False
+
+    def _ensure_prefix(self) -> None:
+        if self._prefix_fresh:
+            return
+        prefix = [0.0]
+        for value in self._values:
+            prefix.append(prefix[-1] + value)
+        self._prefix = prefix
+        self._prefix_fresh = True
+
+    # -- window queries (inclusive bounds) --------------------------------
+
+    def _window_indexes(self, start: float, end: float) -> Tuple[int, int]:
+        return bisect_left(self._times, start), bisect_right(self._times, end)
+
+    def window_count(self, start: float, end: float) -> int:
+        """How many points fall inside [start, end]."""
+        lo, hi = self._window_indexes(start, end)
+        return hi - lo
+
+    def window_sum(self, start: float, end: float) -> float:
+        """Sum of values inside [start, end]."""
+        self._ensure_prefix()
+        lo, hi = self._window_indexes(start, end)
+        return self._prefix[hi] - self._prefix[lo]
+
+    def rate(self, start: float, end: float) -> float:
+        """Points per second inside [start, end]."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        return self.window_count(start, end) / (end - start)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def timestamps(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def first_at_or_after(self, timestamp: float) -> int:
+        """Index of the first point with time >= *timestamp* (len() if
+        none)."""
+        return bisect_left(self._times, timestamp)

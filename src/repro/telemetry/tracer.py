@@ -1,0 +1,147 @@
+"""Span tracing on the simulation clock.
+
+A :class:`Tracer` produces *nested spans*: named intervals with
+structured attributes whose start/end timestamps are read from the
+shared :class:`~repro.devices.clock.SimulatedClock`, so a span's
+duration is simulated seconds — "how long did key distribution take in
+the experiment", not "how long did Python take to run it".
+
+Nesting is lexical: ``with tracer.span(...)`` inside an open span makes
+a child.  Because the discrete-event scheduler interleaves callbacks,
+long-lived protocol phases (a key-distribution handshake, a device's
+submit round-trip) are traced by the *driver* around ``run_for`` /
+``run_until`` calls, where the with-block structure matches simulated
+causality; fine-grained per-event facts stay in the metrics registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds covered (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+
+class Tracer:
+    """Produces nested spans against a (simulated) clock.
+
+    Args:
+        clock: a callable returning seconds or an object with ``now()``
+            — pass the scheduler's :class:`SimulatedClock`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: object = None):
+        if clock is None:
+            self._time_fn: Callable[[], float] = lambda: 0.0
+        elif callable(clock):
+            self._time_fn = clock
+        else:
+            self._time_fn = clock.now
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []  # finished spans, in end order
+
+    # -- manual API (for event-callback lifetimes) -------------------------
+
+    def start_span(self, name: str, **attributes: object) -> Span:
+        """Open a span; it nests under the innermost open span."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start=self._time_fn(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        """Close *span* (and any deeper spans left open, innermost
+        first — a scheduler callback that raised must not wedge the
+        stack)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.end = self._time_fn()
+            self.spans.append(top)
+            if top is span:
+                return span
+        raise ValueError(f"span {span.name!r} is not open on this tracer")
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """``with tracer.span("phase", key=value) as s:`` — the normal API."""
+        span = self.start_span(name, **attributes)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def finished(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans, optionally filtered by name."""
+        if name is None:
+            return list(self.spans)
+        return [s for s in self.spans if s.name == name]
+
+    def children(self, parent: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == parent.span_id]
+
+
+class NullTracer:
+    """Disabled tracing: spans cost one no-op context manager."""
+
+    enabled = False
+    spans: List[Span] = []
+
+    _SPAN = Span(span_id=0, parent_id=None, name="null", start=0.0, end=0.0)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        yield self._SPAN
+
+    def start_span(self, name: str, **attributes: object) -> Span:
+        return self._SPAN
+
+    def end_span(self, span: Span) -> Span:
+        return span
+
+    def finished(self, name: Optional[str] = None) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

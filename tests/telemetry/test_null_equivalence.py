@@ -1,0 +1,49 @@
+"""Disabled telemetry must be invisible: identical simulation results.
+
+Instrumentation sits on consensus-relevant hot paths (attach, PoW,
+credit evaluation), so the null path has to be *behaviourally* inert,
+not just cheap: the same seed must produce the same ledger with
+telemetry on, off, or defaulted.
+"""
+
+from repro.core.biot import BIoTConfig, BIoTSystem
+
+
+def _run(telemetry: bool):
+    # Non-sensitive sensors only: the AES layer draws fresh IVs from
+    # os.urandom, which perturbs PoW challenges run to run and would
+    # mask (or fake) a telemetry-induced divergence.  Without it the
+    # whole simulation is bit-deterministic per seed.
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=2, gateway_count=1, seed=11,
+        initial_difficulty=6, telemetry=telemetry,
+        sensor_cycle=("temperature", "vibration"),
+    ))
+    system.initialize()
+    system.start_devices()
+    system.run_for(20.0)
+    return system
+
+
+class TestNullEquivalence:
+    def test_summary_identical_modulo_metrics_section(self):
+        disabled = _run(telemetry=False).summary()
+        enabled = _run(telemetry=True).summary()
+        assert "metrics" not in disabled
+        metrics = enabled.pop("metrics")
+        assert enabled == disabled
+        assert metrics  # the enabled run did collect something
+
+    def test_ledgers_identical(self):
+        disabled = _run(telemetry=False)
+        enabled = _run(telemetry=True)
+        hashes_off = [tx.tx_hash for tx in disabled.manager.tangle]
+        hashes_on = [tx.tx_hash for tx in enabled.manager.tangle]
+        assert hashes_off == hashes_on
+
+    def test_disabled_system_uses_shared_null_objects(self):
+        system = _run(telemetry=False)
+        assert not system.telemetry.enabled
+        assert not system.tracer.enabled
+        assert system.telemetry.snapshot() == {}
+        assert system.tracer.finished() == []

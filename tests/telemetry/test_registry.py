@@ -1,0 +1,177 @@
+"""Registry semantics: instruments, labels, events, the null path."""
+
+import pytest
+
+from repro.telemetry.registry import (
+    COUNT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    coerce_registry,
+)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def now(self):
+        return self.t
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total == 3.5
+
+    def test_labels_are_independent_series(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        counter.inc(node="a")
+        counter.inc(node="a")
+        counter.inc(node="b")
+        assert counter.value(node="a") == 2
+        assert counter.value(node="b") == 1
+        assert counter.value(node="c") == 0
+        assert counter.total == 3
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_test_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "help")
+        second = registry.counter("repro_test_total")
+        assert first is second
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_test_total")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("Repro-Bad Name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_test_depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13
+
+
+class TestHistogram:
+    def test_bucket_edges_are_upper_bounds(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_sizes", buckets=(1, 10, 100))
+        for value in (0.5, 1, 2, 10, 99, 1000):
+            histogram.observe(value)
+        merged = histogram.merged()
+        # le=1: {0.5, 1}; le=10: {2, 10}; le=100: {99}; +Inf: {1000}
+        assert merged.bucket_counts == [2, 2, 1, 1]
+        assert merged.count == 6
+        assert merged.minimum == 0.5
+        assert merged.maximum == 1000
+
+    def test_snapshot_per_label_set(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_sizes", buckets=COUNT_BUCKETS)
+        histogram.observe(3, node="a")
+        histogram.observe(5, node="b")
+        assert histogram.snapshot(node="a").count == 1
+        assert histogram.snapshot(node="c") is None
+        assert histogram.merged().count == 2
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_test_sizes", buckets=(5, 1))
+
+
+class TestEventLog:
+    def test_events_carry_sim_time(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock)
+        counter = registry.counter("repro_test_total")
+        clock.t = 3.5
+        counter.inc(node="a")
+        (event,) = registry.events
+        assert event.time == 3.5
+        assert event.name == "repro_test_total"
+        assert dict(event.labels) == {"node": "a"}
+        assert event.value == 1.0
+
+    def test_overflow_drops_oldest_half(self):
+        registry = MetricsRegistry(max_events=10)
+        counter = registry.counter("repro_test_total")
+        for _ in range(11):
+            counter.inc()
+        assert len(registry.events) == 6  # 10 -> keep 5, append 1
+        assert registry.events_dropped == 5
+        assert counter.total == 11  # aggregates never drop
+
+    def test_record_events_off_keeps_aggregates(self):
+        registry = MetricsRegistry(record_events=False)
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        assert registry.events == []
+        assert counter.total == 1
+
+
+class TestCoverage:
+    def test_unobserved_lists_idle_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_idle_total")
+        active = registry.counter("repro_active_total")
+        active.inc()
+        assert registry.unobserved() == ["repro_idle_total"]
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total").inc(2, node="a")
+        registry.histogram("repro_test_sizes", buckets=(1, 2)).observe(1.5)
+        snap = registry.snapshot()
+        assert snap["repro_test_total"]["series"] == {"node=a": 2.0}
+        assert snap["repro_test_sizes"]["count"] == 1
+        assert snap["repro_test_sizes"]["mean"] == 1.5
+
+
+class TestNullRegistry:
+    def test_coerce(self):
+        assert coerce_registry(None) is NULL_REGISTRY
+        registry = MetricsRegistry()
+        assert coerce_registry(registry) is registry
+
+    def test_null_absorbs_everything(self):
+        registry = NullRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc(5, node="a")
+        registry.gauge("repro_test_depth").set(3)
+        registry.histogram("repro_test_sizes").observe(1.0)
+        assert counter.value() == 0.0
+        assert registry.snapshot() == {}
+        assert registry.unobserved() == []
+        assert registry.events == []
+        assert not registry.enabled
+
+    def test_null_and_real_share_call_surface(self):
+        """Instrumented code must run identically against either
+        registry: same factories, same instrument methods."""
+        for registry in (MetricsRegistry(), NullRegistry()):
+            counter = registry.counter("repro_test_total", "help")
+            counter.inc()
+            counter.inc(2, node="x")
+            gauge = registry.gauge("repro_test_depth")
+            gauge.set(1)
+            gauge.inc()
+            gauge.dec()
+            registry.histogram(
+                "repro_test_sizes", buckets=(1, 2)).observe(1.5, node="x")
+            registry.now()

@@ -1,0 +1,58 @@
+"""TimeSeries: ordered storage and bisect window queries."""
+
+import pytest
+
+from repro.telemetry.series import TimeSeries
+
+
+class TestAppend:
+    def test_in_order_appends(self):
+        series = TimeSeries()
+        for t in (1.0, 2.0, 2.0, 5.0):
+            series.append(t)
+        assert series.timestamps == [1.0, 2.0, 2.0, 5.0]
+        assert len(series) == 4
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        series = TimeSeries()
+        for t in (5.0, 1.0, 3.0):
+            series.append(t, value=t)
+        assert series.timestamps == [1.0, 3.0, 5.0]
+        assert series.values == [1.0, 3.0, 5.0]
+        assert series.window_sum(0.0, 4.0) == 4.0
+
+
+class TestWindows:
+    def test_window_bounds_inclusive(self):
+        series = TimeSeries()
+        for t in (0.5, 1.0, 1.5, 9.0):
+            series.append(t)
+        assert series.window_count(1.0, 1.5) == 2
+        assert series.window_count(0.0, 10.0) == 4
+        assert series.window_count(2.0, 8.0) == 0
+
+    def test_rate(self):
+        series = TimeSeries()
+        for t in (0.5, 1.0, 1.5, 9.0):
+            series.append(t)
+        assert series.rate(0.0, 10.0) == 0.4
+
+    def test_rate_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            TimeSeries().rate(1.0, 1.0)
+
+    def test_window_sum_after_mixed_inserts(self):
+        series = TimeSeries()
+        series.append(2.0, value=10.0)
+        series.append(1.0, value=1.0)  # out of order: prefix goes stale
+        series.append(3.0, value=100.0)
+        assert series.window_sum(1.0, 2.0) == 11.0
+        assert series.window_sum(0.0, 3.0) == 111.0
+
+    def test_first_at_or_after(self):
+        series = TimeSeries()
+        for t in (1.0, 3.0):
+            series.append(t)
+        assert series.first_at_or_after(0.0) == 0
+        assert series.first_at_or_after(2.0) == 1
+        assert series.first_at_or_after(4.0) == 2

@@ -1,0 +1,89 @@
+"""Span tracing: nesting, sim-time durations, scheduler interplay."""
+
+import pytest
+
+from repro.network.simulator import EventScheduler
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNesting:
+    def test_child_nests_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert tracer.children(outer) == [inner]
+
+    def test_finished_order_is_end_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished()] == ["outer", "inner"][::-1]
+        assert [s.name for s in tracer.finished("outer")] == ["outer"]
+
+    def test_end_span_closes_abandoned_children(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")  # never explicitly ended
+        tracer.end_span(outer)
+        assert tracer.open_depth == 0
+        assert all(s.finished for s in tracer.finished())
+
+    def test_ending_unopened_span_raises(self):
+        tracer = Tracer()
+        span = tracer.start_span("a")
+        tracer.end_span(span)
+        with pytest.raises(ValueError):
+            tracer.end_span(span)
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("phase", devices=4) as span:
+            span.set_attribute("accepted", 3)
+        assert span.attributes == {"devices": 4, "accepted": 3}
+
+
+class TestSimTime:
+    def test_durations_are_simulated_seconds(self):
+        """A span wrapped around run_until covers exactly the simulated
+        interval, regardless of host execution speed."""
+        scheduler = EventScheduler()
+        tracer = Tracer(scheduler.clock)
+        scheduler.schedule(7.5, lambda: None)
+        with tracer.span("run") as span:
+            scheduler.run_until(7.5)
+        assert span.start == 0.0
+        assert span.end == 7.5
+        assert span.duration == 7.5
+
+    def test_nested_phases_partition_the_run(self):
+        scheduler = EventScheduler()
+        tracer = Tracer(scheduler.clock)
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.schedule(delay, lambda: None)
+        with tracer.span("all") as all_span:
+            with tracer.span("first") as first:
+                scheduler.run_until(1.5)
+            with tracer.span("rest") as rest:
+                scheduler.run_until(3.0)
+        assert first.duration == 1.5
+        assert rest.start == 1.5
+        assert rest.duration == 1.5
+        assert all_span.duration == 3.0
+
+    def test_open_span_duration_is_zero(self):
+        tracer = Tracer()
+        span = tracer.start_span("open")
+        assert span.duration == 0.0
+        assert not span.finished
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", key="value") as span:
+            span.set_attribute("ignored", 1)
+        assert NULL_TRACER.finished() == []
+        assert not NullTracer.enabled
