@@ -9,6 +9,7 @@ Usage::
     python -m repro fig10 --max-exponent 18
     python -m repro summary
     python -m repro telemetry --scenario smoke --require-all
+    python -m repro chaos --scenario partition-heal --seed 7
 
 Each experiment subcommand prints the same series the matching
 benchmark writes to ``benchmarks/out/``; ``workflow`` runs the Fig. 6
@@ -91,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--require-all", action="store_true",
                            help="fail if any registered metric was "
                                 "never emitted during the scenario")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a canned fault-injection campaign and print "
+                      "its byte-deterministic convergence report")
+    chaos.add_argument("--scenario", default="smoke",
+                       help="campaign name (see --list)")
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--out", type=str, default=None,
+                       help="also write the canonical JSON report here")
+    chaos.add_argument("--pretty", action="store_true",
+                       help="indent the printed report (the --out file "
+                            "stays canonical)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
 
     return parser
 
@@ -223,6 +238,26 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .faults.scenarios import SCENARIOS, run_scenario
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name}: {SCENARIOS[name].description}")
+        return 0
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        print(f"unknown scenario {args.scenario!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    report = run_scenario(args.scenario, seed=args.seed)
+    print(report.to_json(indent=2 if args.pretty else None))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    return 0 if report.converged else 1
+
+
 _COMMANDS = {
     "workflow": _cmd_workflow,
     "fig7": _cmd_fig7,
@@ -232,6 +267,7 @@ _COMMANDS = {
     "summary": _cmd_summary,
     "report": _cmd_report,
     "telemetry": _cmd_telemetry,
+    "chaos": _cmd_chaos,
 }
 
 

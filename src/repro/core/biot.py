@@ -29,6 +29,7 @@ from ..core.consensus import (
 from ..core.credit import CreditParameters, CreditRegistry
 from ..crypto.keys import KeyPair
 from ..devices.sensors import SENSOR_TYPES, make_sensor
+from ..faults.backoff import BackoffPolicy
 from ..network.network import Network
 from ..network.simulator import EventScheduler
 from ..network.transport import BACKBONE_LINK, WIRELESS_SENSOR_LINK, LatencyModel
@@ -61,6 +62,10 @@ class BIoTConfig:
         wireless_link / backbone_link: latency models.
         enforce_pow: cryptographically verify PoW nonces at gateways.
         token_allocation: initial token balance minted per device.
+        retry_policy: the :class:`~repro.faults.backoff.BackoffPolicy`
+            full nodes use for recovery loops (key-distribution
+            retransmits, parent re-requests).  None = the library
+            default.
         telemetry: collect metrics and spans into a shared
             :class:`~repro.telemetry.MetricsRegistry` /
             :class:`~repro.telemetry.Tracer` pair (sim-clock
@@ -82,6 +87,7 @@ class BIoTConfig:
     backbone_link: LatencyModel = BACKBONE_LINK
     enforce_pow: bool = True
     token_allocation: int = 1000
+    retry_policy: Optional[BackoffPolicy] = None
     telemetry: bool = False
 
     def __post_init__(self):
@@ -177,6 +183,7 @@ class BIoTSystem:
             tip_selector=new_tip_selector(),
             rng=random.Random(master.randrange(2 ** 63)),
             enforce_pow=config.enforce_pow,
+            retry_policy=config.retry_policy,
             telemetry=telemetry,
         )
         manager.consensus.registry.set_weight_provider(manager.tangle.weight)
@@ -196,6 +203,7 @@ class BIoTSystem:
                 tip_selector=new_tip_selector(),
                 rng=random.Random(master.randrange(2 ** 63)),
                 enforce_pow=config.enforce_pow,
+                retry_policy=config.retry_policy,
                 telemetry=telemetry,
             )
             gateway.consensus.registry.set_weight_provider(gateway.tangle.weight)
@@ -240,6 +248,11 @@ class BIoTSystem:
             telemetry=telemetry,
             tracer=tracer,
         )
+
+    @property
+    def full_nodes(self) -> List["FullNode"]:
+        """Every full node: the manager first, then the gateways."""
+        return [self.manager] + self.gateways
 
     # -- workflow steps 1-3 --------------------------------------------------
 

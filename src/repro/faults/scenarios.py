@@ -1,0 +1,142 @@
+"""Canned chaos campaigns against the default smart-factory topology.
+
+Each scenario pins a deployment shape (:class:`~repro.core.biot.
+BIoTConfig`), a fault plan over its well-known addresses (``manager``,
+``gateway-i``, ``device-i``), and campaign timing.  The catalog is the
+contract the convergence suite (``tests/faults/test_campaigns.py``)
+and the ``repro chaos`` CLI both run against:
+
+* ``smoke`` — one of everything, short: the CI determinism probe;
+* ``partition-heal`` — a gateway island partitioned and healed;
+* ``churn`` — staggered gateway crash/restart cycles;
+* ``lossy-burst`` — loss, duplication and latency storms;
+* ``skewed-clock`` — per-node clock skew inside the freshness window.
+
+All plans heal or are healed by the runner's restore step; every
+campaign must end with identical replica state for any seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..core.biot import BIoTConfig
+from .plan import FaultPlan, PlanBuilder
+from .report import ConvergenceReport
+from .runner import ChaosRunner, ChaosSettings
+
+__all__ = ["Scenario", "SCENARIOS", "get_scenario", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully pinned chaos campaign."""
+
+    name: str
+    description: str
+    plan: FaultPlan
+    config: BIoTConfig = field(default_factory=BIoTConfig)
+    settings: ChaosSettings = field(default_factory=ChaosSettings)
+
+    def run(self, *, seed: Optional[int] = None) -> ConvergenceReport:
+        runner = ChaosRunner(self.config, settings=self.settings)
+        return runner.run(self.plan, seed=seed, scenario=self.name)
+
+
+def _smoke_plan() -> FaultPlan:
+    """One of every fault kind, compressed into a short window."""
+    return (PlanBuilder("smoke")
+            .partition(4.0, 10.0, ("gateway-1",),
+                       ("manager", "gateway-0"))
+            .crash(6.0, "gateway-0", restart_at=12.0)
+            .loss(14.0, 18.0, 0.25)
+            .duplicate(14.0, 18.0, 0.25)
+            .latency(19.0, 23.0, 0.4, extra_jitter=0.2)
+            .skew(8.0, "device-1", 1.5, until=20.0)
+            .build())
+
+
+def _partition_heal_plan() -> FaultPlan:
+    """Isolate gateway-0 (and its devices' backbone view) then heal."""
+    return (PlanBuilder("partition-heal")
+            .partition(10.0, 30.0, ("gateway-0",),
+                       ("manager", "gateway-1"))
+            .build())
+
+
+def _churn_plan() -> FaultPlan:
+    """Rolling gateway restarts: never two down at once, but the
+    flooded history keeps getting holes punched in it."""
+    return (PlanBuilder("churn")
+            .crash(8.0, "gateway-0", restart_at=16.0)
+            .crash(20.0, "gateway-1", restart_at=28.0)
+            .crash(32.0, "gateway-0", restart_at=38.0)
+            .build())
+
+
+def _lossy_burst_plan() -> FaultPlan:
+    """Storms on the fabric: loss, duplication, then latency+jitter."""
+    return (PlanBuilder("lossy-burst")
+            .loss(6.0, 20.0, 0.3)
+            .duplicate(22.0, 32.0, 0.3)
+            .latency(34.0, 44.0, 0.6, extra_jitter=0.3)
+            .build())
+
+
+def _skewed_clock_plan() -> FaultPlan:
+    """Clock skew within the protocol freshness windows (keydist
+    max_skew is 5s; lazy-tip detection tolerates ±ΔT)."""
+    return (PlanBuilder("skewed-clock")
+            .skew(5.0, "gateway-1", 2.0, until=40.0)
+            .skew(10.0, "device-0", -1.5, until=35.0)
+            .skew(12.0, "device-2", 1.0, until=30.0)
+            .build())
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="smoke",
+            description="one of every fault kind in a 30s window "
+                        "(the CI determinism probe)",
+            plan=_smoke_plan(),
+            config=BIoTConfig(gateway_count=2, device_count=3),
+            settings=ChaosSettings(report_seconds=30.0, drain_seconds=10.0),
+        ),
+        Scenario(
+            name="partition-heal",
+            description="gateway-0 islanded for 20s, then healed",
+            plan=_partition_heal_plan(),
+        ),
+        Scenario(
+            name="churn",
+            description="rolling gateway crash/restart cycles",
+            plan=_churn_plan(),
+        ),
+        Scenario(
+            name="lossy-burst",
+            description="loss, duplication and latency storms",
+            plan=_lossy_burst_plan(),
+        ),
+        Scenario(
+            name="skewed-clock",
+            description="per-node clock skew inside freshness windows",
+            plan=_skewed_clock_plan(),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def run_scenario(name: str, *, seed: Optional[int] = None) -> ConvergenceReport:
+    """Run a canned campaign by name (the CLI entry point)."""
+    return get_scenario(name).run(seed=seed)

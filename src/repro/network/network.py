@@ -14,7 +14,10 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..telemetry.registry import SECONDS_BUCKETS, coerce_registry
 from .simulator import EventScheduler
-from .transport import LOCAL_LINK, LatencyModel, Message
+from .transport import LOCAL_LINK, LatencyModel, LinkOverlay, Message
+
+DUPLICATE_SPREAD_SECONDS = 0.05
+"""Extra uniform delay a duplicated copy picks up over the original."""
 
 __all__ = ["NetworkNode", "Network"]
 
@@ -40,6 +43,9 @@ class NetworkNode:
             raise ValueError("service_time_s must be non-negative")
         self.address = address
         self.service_time_s = service_time_s
+        # Fault injection: the node's local clock reads this many
+        # seconds ahead of (or behind) the shared simulation clock.
+        self.clock_offset = 0.0
         self.network: Optional["Network"] = None
         self.received_count = 0
         self.queue_depth_peak = 0
@@ -109,9 +115,18 @@ class Network:
         self._links: Dict[Tuple[str, str], LatencyModel] = {}
         self._down: Set[str] = set()
         self._cut_links: Set[Tuple[str, str]] = set()
+        # Fault-injection overlays: token -> (a, b, overlay); "*" is a
+        # wildcard endpoint and matching is symmetric.
+        self._overlays: Dict[int, Tuple[str, str, LinkOverlay]] = {}
+        self._overlay_sequence = 0
+        # Scheduled-but-undelivered messages, by scheduler event id, so
+        # partitions and crashes can purge what is already in flight.
+        self._in_flight: Dict[int, Message] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_purged = 0
+        self.messages_duplicated = 0
         self._taps: List[Callable[[Message], None]] = []
         self.telemetry = coerce_registry(telemetry)
         self._m_sent = self.telemetry.counter(
@@ -127,6 +142,12 @@ class Network:
             "repro_network_delivery_latency_seconds",
             "Send-to-delivery simulated latency",
             buckets=SECONDS_BUCKETS)
+        self._m_purged = self.telemetry.counter(
+            "repro_fault_messages_purged_total",
+            "In-flight messages purged by a partition cut or crash")
+        self._m_duplicated = self.telemetry.counter(
+            "repro_fault_messages_duplicated_total",
+            "Messages delivered twice by a duplication overlay")
 
     # -- topology --------------------------------------------------------
 
@@ -155,10 +176,17 @@ class Network:
     # -- failures --------------------------------------------------------
 
     def take_down(self, address: str) -> None:
-        """Crash a node: all traffic to/from it is dropped."""
+        """Crash a node: all traffic to/from it is dropped.
+
+        Messages already in flight *towards* the crashed node are
+        purged immediately (a dead radio receives nothing); packets it
+        transmitted before dying keep propagating — that is what closes
+        the crash-time replication window.
+        """
         if address not in self._nodes:
             raise KeyError(address)
         self._down.add(address)
+        self._purge_in_flight(lambda msg: msg.recipient == address)
 
     def bring_up(self, address: str) -> None:
         """Restore a crashed node."""
@@ -168,13 +196,67 @@ class Network:
         return address in self._down
 
     def cut_link(self, a: str, b: str) -> None:
-        """Partition: silently drop traffic between *a* and *b*."""
+        """Partition: silently drop traffic between *a* and *b*.
+
+        Also purges messages scheduled before the cut but not yet
+        delivered — a severed cable loses what was on the wire.
+        """
         self._cut_links.add((a, b))
         self._cut_links.add((b, a))
+        self._purge_in_flight(
+            lambda msg: {msg.sender, msg.recipient} == {a, b}
+        )
 
     def heal_link(self, a: str, b: str) -> None:
         self._cut_links.discard((a, b))
         self._cut_links.discard((b, a))
+
+    def restore_all(self) -> None:
+        """Clear every failure switch: bring crashed nodes up, heal
+        cuts, lift overlays, zero clock offsets.  The chaos runner
+        calls this before its convergence phase so unhealed faults in a
+        plan cannot make reconciliation structurally impossible."""
+        self._down.clear()
+        self._cut_links.clear()
+        self._overlays.clear()
+        for node in self._nodes.values():
+            node.clock_offset = 0.0
+
+    def _purge_in_flight(self, predicate: Callable[[Message], bool]) -> int:
+        """Drop scheduled deliveries matching *predicate*; returns how
+        many were purged (each counts as a drop)."""
+        doomed = [event_id for event_id, msg in self._in_flight.items()
+                  if predicate(msg)]
+        for event_id in doomed:
+            message = self._in_flight.pop(event_id)
+            self.scheduler.cancel(event_id)
+            self.messages_purged += 1
+            self._m_purged.inc(kind=message.kind)
+            self._count_drop(message.kind)
+        return len(doomed)
+
+    # -- disturbances (fault injection) ----------------------------------
+
+    def add_overlay(self, a: str, b: str, overlay: LinkOverlay) -> int:
+        """Stack *overlay* on traffic between *a* and *b* (symmetric;
+        ``"*"`` matches any endpoint).  Returns a token for
+        :meth:`remove_overlay`."""
+        token = self._overlay_sequence
+        self._overlay_sequence += 1
+        self._overlays[token] = (a, b, overlay)
+        return token
+
+    def remove_overlay(self, token: int) -> None:
+        """Lift a disturbance previously added with :meth:`add_overlay`."""
+        self._overlays.pop(token, None)
+
+    def _matching_overlays(self, sender: str, recipient: str) -> List[LinkOverlay]:
+        matched = []
+        for a, b, overlay in self._overlays.values():
+            if ((a in ("*", sender) and b in ("*", recipient))
+                    or (a in ("*", recipient) and b in ("*", sender))):
+                matched.append(overlay)
+        return matched
 
     # -- observation -----------------------------------------------------
 
@@ -206,6 +288,18 @@ class Network:
         if delay is None:
             self._count_drop(kind)
             return False
+        duplicate = False
+        for overlay in self._matching_overlays(sender, recipient):
+            if (overlay.extra_loss > 0.0
+                    and self._rng.random() < overlay.extra_loss):
+                self._count_drop(kind)
+                return False
+            delay += overlay.extra_latency
+            if overlay.extra_jitter > 0.0:
+                delay += self._rng.uniform(0.0, overlay.extra_jitter)
+            if (overlay.duplicate_probability > 0.0
+                    and self._rng.random() < overlay.duplicate_probability):
+                duplicate = True
         message = Message(
             sender=sender,
             recipient=recipient,
@@ -214,13 +308,31 @@ class Network:
             sent_at=self.scheduler.clock.now(),
             size_bytes=size_bytes,
         )
-        node = self._nodes[recipient]
+        self._schedule_delivery(message, delay)
+        if duplicate:
+            self.messages_duplicated += 1
+            self._m_duplicated.inc(kind=kind)
+            self._schedule_delivery(
+                message,
+                delay + self._rng.uniform(0.0, DUPLICATE_SPREAD_SECONDS),
+            )
+        return True
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        node = self._nodes[message.recipient]
         # Arrival time = propagation; processing waits for the node's
         # service queue on top of that.
         arrival = self.scheduler.clock.now() + delay
         delay += node.processing_delay(arrival)
-        self.scheduler.schedule(delay, lambda: self._deliver(message))
-        return True
+        holder: Dict[str, int] = {}
+
+        def deliver() -> None:
+            self._in_flight.pop(holder["event_id"], None)
+            self._deliver(message)
+
+        event_id = self.scheduler.schedule(delay, deliver)
+        holder["event_id"] = event_id
+        self._in_flight[event_id] = message
 
     def broadcast(self, sender: str, kind: str, body, *,
                   recipients: Optional[List[str]] = None,

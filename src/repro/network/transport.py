@@ -12,7 +12,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["Message", "LatencyModel", "WIRELESS_SENSOR_LINK", "BACKBONE_LINK", "LOCAL_LINK"]
+__all__ = [
+    "Message",
+    "LatencyModel",
+    "LinkOverlay",
+    "WIRELESS_SENSOR_LINK",
+    "BACKBONE_LINK",
+    "LOCAL_LINK",
+]
 
 _message_counter = [0]
 
@@ -80,6 +87,38 @@ class LatencyModel:
         if self.bandwidth_bytes_per_second > 0.0 and size_bytes > 0:
             delay += size_bytes / self.bandwidth_bytes_per_second
         return delay
+
+
+@dataclass(frozen=True)
+class LinkOverlay:
+    """A transient disturbance stacked on top of a link's base model.
+
+    Fault-injection campaigns degrade links without touching the
+    configured :class:`LatencyModel`: an overlay adds loss, delay,
+    jitter (which reorders traffic) and probabilistic duplication, and
+    is removed wholesale when the fault heals.
+
+    Attributes:
+        extra_loss: additional independent drop probability.
+        extra_latency: fixed extra one-way delay in seconds.
+        extra_jitter: uniform extra delay in [0, extra_jitter] — large
+            values reorder messages relative to their send order.
+        duplicate_probability: chance the message is delivered twice
+            (the copy takes an independently jittered path).
+    """
+
+    extra_loss: float = 0.0
+    extra_latency: float = 0.0
+    extra_jitter: float = 0.0
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.extra_loss < 1.0:
+            raise ValueError("extra_loss must be in [0, 1)")
+        if self.extra_latency < 0 or self.extra_jitter < 0:
+            raise ValueError("overlay delays must be non-negative")
+        if not 0.0 <= self.duplicate_probability < 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1)")
 
 
 WIRELESS_SENSOR_LINK = LatencyModel(

@@ -35,6 +35,7 @@ from typing import Dict, Optional
 from ..core.acl import AuthorizationList, GenesisConfig
 from ..core.consensus import CreditBasedConsensus
 from ..devices.profiles import PC, DeviceProfile
+from ..faults.backoff import DEFAULT_BACKOFF, BackoffPolicy
 from ..network.gossip import GossipRelay, SolidificationBuffer
 from ..network.network import NetworkNode
 from ..network.transport import Message
@@ -45,7 +46,7 @@ from ..tangle.errors import (
 )
 from ..tangle.ledger import TokenLedger
 from ..tangle.tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle
-from ..telemetry.registry import coerce_registry
+from ..telemetry.registry import SECONDS_BUCKETS, coerce_registry
 from ..tangle.tip_selection import TipSelector, UniformRandomTipSelector
 from ..tangle.transaction import Transaction, TransactionKind
 from ..tangle.validation import crypto_validator
@@ -68,6 +69,10 @@ class FullNodeStats:
     sync_requests_served: int = 0
     sync_transactions_sent: int = 0
     sync_transactions_received: int = 0
+    parent_requests_sent: int = 0
+    parent_requests_served: int = 0
+    parent_fetch_recoveries: int = 0
+    parent_fetch_exhausted: int = 0
     malformed_messages: int = 0
     rejection_reasons: Dict[str, int] = field(default_factory=dict)
 
@@ -97,6 +102,10 @@ class FullNode(NetworkNode):
             (``bad-data`` behaviour).  Off by default: monitor state
             depends on per-replica arrival order, so deployments that
             enable it should pair it with a difficulty tolerance ≥ 1.
+        retry_policy: the :class:`~repro.faults.backoff.BackoffPolicy`
+            pacing parent re-requests (and, on the manager subclass,
+            key-distribution retransmissions).  ``None`` uses
+            :data:`~repro.faults.backoff.DEFAULT_BACKOFF`.
         weight_flush_interval: batching epoch of the tangle's lazy
             cumulative-weight engine (see
             :data:`~repro.tangle.tangle.DEFAULT_WEIGHT_FLUSH_INTERVAL`).
@@ -116,10 +125,13 @@ class FullNode(NetworkNode):
                  rng: Optional[random.Random] = None,
                  enforce_pow: bool = True,
                  quality_monitor=None,
+                 retry_policy: Optional[BackoffPolicy] = None,
                  weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL,
                  telemetry=None):
         super().__init__(address)
         self.telemetry = coerce_registry(telemetry)
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else DEFAULT_BACKOFF
         self.quality_monitor = quality_monitor
         self.profile = profile
         self.rng = rng if rng is not None else random.Random()
@@ -155,6 +167,22 @@ class FullNode(NetworkNode):
         self._m_gossip_duplicates = self.telemetry.counter(
             "repro_network_gossip_duplicates_total",
             "Gossip items suppressed as already seen, by node")
+        self._m_retry_attempts = self.telemetry.counter(
+            "repro_retry_attempts_total",
+            "Recovery retransmissions sent, by protocol")
+        self._m_retry_exhausted = self.telemetry.counter(
+            "repro_retry_exhausted_total",
+            "Recovery loops that gave up after max_attempts, by protocol")
+        self._m_retry_recoveries = self.telemetry.counter(
+            "repro_retry_recoveries_total",
+            "Recovery loops that succeeded after at least one retry, "
+            "by protocol")
+        self._m_retry_backoff = self.telemetry.histogram(
+            "repro_retry_backoff_seconds",
+            "Jittered backoff delays armed by recovery loops",
+            buckets=SECONDS_BUCKETS)
+        # parent hash -> {"attempt": int, "source": peer or None}
+        self._parent_requests: Dict[bytes, Dict] = {}
         # Transactions at or before this ledger time have their credit
         # effects already baked into the registry (imported snapshot
         # state); re-ingesting them must not re-record behaviour.
@@ -265,6 +293,8 @@ class FullNode(NetworkNode):
             "gossip_transaction": self._handle_gossip,
             "sync_request": self._handle_sync_request,
             "sync_response": self._handle_sync_response,
+            "parent_request": self._handle_parent_request,
+            "parent_response": self._handle_parent_response,
         }.get(message.kind)
         if handler is None:
             return  # unknown kinds are dropped silently (open network)
@@ -356,6 +386,124 @@ class FullNode(NetworkNode):
             if ok:
                 self.stats.sync_transactions_received += 1
 
+    def resync_with_peers(self) -> int:
+        """Anti-entropy sweep against every gossip peer (post-heal or
+        post-restart recovery).  Returns the number of peers reached."""
+        reached = 0
+        for peer in self.relay.peers:
+            if self.request_sync(peer):
+                reached += 1
+        return reached
+
+    # -- targeted parent recovery ------------------------------------------
+
+    _PARENT_RESPONSE_BUDGET = 32
+    """Max transactions returned per parent request: the asked-for tx
+    plus its nearest ancestors (deeper gaps re-request recursively)."""
+
+    def _schedule_parent_fetch(self, missing, source: Optional[str]) -> None:
+        """Arm a backoff-paced re-request loop for each missing parent.
+
+        Gossip is fire-and-forget, so a dropped parent strands its whole
+        subtree in the solidification buffer.  Instead of waiting for a
+        global sync, ask a peer for the specific hash, retrying on the
+        node's :class:`~repro.faults.backoff.BackoffPolicy` until the
+        parent attaches or attempts are exhausted.
+        """
+        if self.network is None or not self.relay.peers:
+            return
+        for parent in missing:
+            if parent in self._parent_requests or parent in self.tangle:
+                continue
+            self._parent_requests[parent] = {
+                "attempt": 0, "sent": 0, "source": source,
+            }
+            self._arm_parent_fetch(parent)
+
+    def _arm_parent_fetch(self, parent: bytes) -> None:
+        state = self._parent_requests.get(parent)
+        if state is None:
+            return
+        state["attempt"] += 1
+        attempt = state["attempt"]
+        delay = self.retry_policy.delay(attempt, self.rng)
+        self._m_retry_backoff.observe(delay)
+
+        def fire() -> None:
+            current = self._parent_requests.get(parent)
+            if current is None or current["attempt"] != attempt:
+                return  # resolved, superseded, or cancelled
+            if parent in self.tangle:
+                self._parent_requests.pop(parent, None)
+                return
+            peer = self._parent_fetch_peer(current["source"], attempt)
+            if peer is not None:
+                current["sent"] += 1
+                self.stats.parent_requests_sent += 1
+                self._m_retry_attempts.inc(protocol="parent_fetch")
+                self.send(peer, "parent_request", {"hashes": [parent]},
+                          size_bytes=32)
+            if self.retry_policy.exhausted(attempt):
+                self._parent_requests.pop(parent, None)
+                self.stats.parent_fetch_exhausted += 1
+                self._m_retry_exhausted.inc(protocol="parent_fetch")
+            else:
+                self._arm_parent_fetch(parent)
+
+        self.network.scheduler.schedule(delay, fire)
+
+    def _parent_fetch_peer(self, source: Optional[str],
+                           attempt: int) -> Optional[str]:
+        """The peer to ask: the gossip source first, then round-robin
+        over the peer list so a dead source does not starve recovery."""
+        if source is not None and attempt == 1 and source in self.relay.peers:
+            return source
+        if not self.relay.peers:
+            return source
+        return self.relay.peers[(attempt - 1) % len(self.relay.peers)]
+
+    def _settle_parent_fetch(self, tx_hash: bytes) -> None:
+        """A transaction attached: stop any re-request loop for it."""
+        state = self._parent_requests.pop(tx_hash, None)
+        if state is not None and state["sent"] >= 1:
+            self.stats.parent_fetch_recoveries += 1
+            self._m_retry_recoveries.inc(protocol="parent_fetch")
+
+    def _handle_parent_request(self, message: Message) -> None:
+        transactions = []
+        for tx_hash in message.body.get("hashes", ()):
+            if tx_hash not in self.tangle:
+                continue
+            transactions.extend(self._parent_response_chain(tx_hash))
+        self.stats.parent_requests_served += 1
+        self.send(message.sender, "parent_response",
+                  {"transactions": transactions},
+                  size_bytes=sum(len(t) for t in transactions))
+
+    def _parent_response_chain(self, tx_hash: bytes) -> list:
+        """The requested transaction plus its nearest non-genesis
+        ancestors (parents-first order), bounded by the response budget.
+
+        We cannot know which ancestors the requester already holds;
+        sending the closest ones covers the common a-few-drops gap, and
+        anything still missing parks again and re-requests recursively.
+        """
+        ancestors = [
+            h for h in self.tangle.ancestors(tx_hash)
+            if not self.tangle.get(h).is_genesis
+        ]
+        ancestors.sort(key=lambda h: self.tangle.arrival_time(h))
+        chain = ancestors[-(self._PARENT_RESPONSE_BUDGET - 1):] + [tx_hash]
+        return [self.tangle.get(h).to_bytes() for h in chain]
+
+    def _handle_parent_response(self, message: Message) -> None:
+        for encoded in message.body.get("transactions", ()):
+            try:
+                tx = Transaction.from_bytes(encoded)
+            except ValueError:
+                continue
+            self._ingest(tx, source=message.sender, admit=False)
+
     # -- ingestion -------------------------------------------------------
 
     def ingest_local(self, tx: Transaction) -> bool:
@@ -389,6 +537,7 @@ class FullNode(NetworkNode):
             missing = [p for p in (tx.branch, tx.trunk) if p not in self.tangle]
             self.solidification.park(tx.tx_hash, (tx, admit), missing)
             self.stats.gossip_parked += 1
+            self._schedule_parent_fetch(missing, source)
             return False, "parked-missing-parent"
         except DuplicateTransactionError:
             self.stats.gossip_duplicates += 1
@@ -400,6 +549,7 @@ class FullNode(NetworkNode):
 
         if tx.timestamp > self.credit_horizon:
             self.consensus.observe_attach(result)
+        self._settle_parent_fetch(tx.tx_hash)
         error = self._apply_side_effects(tx, now)
         self.relay.mark_seen(tx.tx_hash)
         if source is not None:

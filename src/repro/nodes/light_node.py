@@ -134,6 +134,9 @@ class LightNode(NetworkNode):
         self._running = False
         self._request_counter = 0
         self._pending: Dict[int, Dict] = {}
+        # sessions whose M3 we already installed and acked; a
+        # retransmitted M3 is re-acked without touching the key agent
+        self._keydist_acked: set = set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -348,9 +351,22 @@ class LightNode(NetworkNode):
         }, size_bytes=len(m2))
 
     def _handle_keydist_m3(self, message: Message) -> None:
+        session_id = message.body.get("session_id")
+        if session_id is not None and session_id in self._keydist_acked:
+            # Retransmitted M3 (our ack was lost): just re-ack.
+            self._send_keydist_ack(message.sender, session_id)
+            return
         try:
             group = self.key_agent.handle_m3(message.body["m3"], now=self._now())
         except KeyDistributionError:
             return
         self.protector.install_key(group, self.key_agent.key_for(group))
         self._m_keys_installed.inc()
+        if session_id is not None:
+            self._keydist_acked.add(session_id)
+            self._send_keydist_ack(message.sender, session_id)
+
+    def _send_keydist_ack(self, manager_address: str,
+                          session_id: bytes) -> None:
+        self.send(manager_address, "keydist_ack", {"session_id": session_id},
+                  size_bytes=len(session_id))

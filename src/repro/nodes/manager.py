@@ -54,6 +54,14 @@ class ManagerNode(FullNode):
         self.distributor = ManagerKeyDistributor(keypair)
         self._keydist_sessions: Dict[bytes, str] = {}  # session id -> device addr
         self._keydist_started: Dict[bytes, float] = {}  # session id -> start time
+        # session id -> retry context for the M1/M2 half of the handshake
+        self._keydist_meta: Dict[bytes, Dict] = {}
+        # device node_id -> in-flight session id (dedups distribute_key)
+        self._keydist_active: Dict[bytes, bytes] = {}
+        # session id -> retransmit context for the M3/ack half
+        self._keydist_m3: Dict[bytes, Dict] = {}
+        self.keydist_retries = 0
+        self.keydist_exhausted = 0
         self.engine: Optional[PowEngine] = None
         self._m_keydist_initiated = self.telemetry.counter(
             "repro_keydist_initiated_total",
@@ -164,22 +172,75 @@ class ManagerNode(FullNode):
 
     def distribute_key(self, device_address: str, device: PublicIdentity, *,
                        group: str = "sensitive") -> None:
-        """Start the Fig. 4 handshake with one device."""
+        """Start the Fig. 4 handshake with one device.
+
+        The handshake is retried end-to-end on the node's
+        :class:`~repro.faults.backoff.BackoffPolicy`: if M1 or M2 is
+        lost, a *fresh* session is initiated per attempt (a replayed M1
+        would trip the device's nonce_a replay defence), and after M2
+        verifies, M3 is retransmitted until the device acknowledges it.
+        A handshake already in flight for the device is not duplicated.
+        """
+        if device.node_id in self._keydist_active:
+            return
+        self._m_keydist_initiated.inc()
+        self._start_keydist_attempt(device_address, device, group,
+                                    attempt=1, started=self._now())
+
+    def _start_keydist_attempt(self, device_address: str,
+                               device: PublicIdentity, group: str, *,
+                               attempt: int, started: float) -> None:
         session_id, m1 = self.distributor.initiate(
             device, now=self._now(), group=group
         )
         self._keydist_sessions[session_id] = device_address
-        self._keydist_started[session_id] = self._now()
-        self._m_keydist_initiated.inc()
+        self._keydist_started[session_id] = started
+        self._keydist_meta[session_id] = {
+            "device": device, "address": device_address,
+            "group": group, "attempt": attempt, "started": started,
+        }
+        self._keydist_active[device.node_id] = session_id
         self.send(device_address, "keydist_m1", {
             "session_id": session_id,
             "m1": m1,
         }, size_bytes=len(m1))
+        timeout = self.retry_policy.delay(attempt, self.rng)
+        self._m_retry_backoff.observe(timeout)
+        self.network.scheduler.schedule(
+            timeout, lambda: self._keydist_m1_expired(session_id))
+
+    def _keydist_m1_expired(self, session_id: bytes) -> None:
+        """No M2 verified within the attempt's window: abandon the
+        session (late M2s for it are dropped — retransmit dedup) and
+        either start a fresh attempt or give up."""
+        meta = self._keydist_meta.get(session_id)
+        if meta is None or self.distributor.is_completed(session_id):
+            return  # handshake advanced to the M3 stage (or finished)
+        self._keydist_meta.pop(session_id, None)
+        self._keydist_sessions.pop(session_id, None)
+        self._keydist_started.pop(session_id, None)
+        attempt = meta["attempt"]
+        if self.retry_policy.exhausted(attempt):
+            self._keydist_active.pop(meta["device"].node_id, None)
+            self.keydist_exhausted += 1
+            self._m_retry_exhausted.inc(protocol="keydist_m1")
+            return
+        self.keydist_retries += 1
+        self._m_retry_attempts.inc(protocol="keydist_m1")
+        self._start_keydist_attempt(
+            meta["address"], meta["device"], meta["group"],
+            attempt=attempt + 1, started=meta["started"])
 
     def handle_message(self, message: Message) -> None:
         if message.kind == "keydist_m2":
             try:
                 self._handle_keydist_m2(message)
+            except (ValueError, KeyError, TypeError):
+                self.stats.malformed_messages += 1
+            return
+        if message.kind == "keydist_ack":
+            try:
+                self._handle_keydist_ack(message)
             except (ValueError, KeyError, TypeError):
                 self.stats.malformed_messages += 1
             return
@@ -200,7 +261,63 @@ class ManagerNode(FullNode):
         if started is not None:
             self._m_keydist_completed.inc()
             self._m_keydist_roundtrip.observe(self._now() - started)
-        self.send(device_address, "keydist_m3", {"m3": m3}, size_bytes=len(m3))
+        meta = self._keydist_meta.pop(session_id, None)
+        self._keydist_m3[session_id] = {
+            "address": device_address,
+            "m3": m3,
+            "attempt": 1,
+            "m1_attempts": meta["attempt"] if meta else 1,
+            "node_id": meta["device"].node_id if meta else None,
+        }
+        self.send(device_address, "keydist_m3", {
+            "m3": m3,
+            "session_id": session_id,
+        }, size_bytes=len(m3))
+        self._arm_keydist_m3(session_id)
+
+    def _arm_keydist_m3(self, session_id: bytes) -> None:
+        """Retransmit M3 until the device acknowledges installation."""
+        entry = self._keydist_m3.get(session_id)
+        if entry is None:
+            return
+        attempt = entry["attempt"]
+        timeout = self.retry_policy.delay(attempt, self.rng)
+        self._m_retry_backoff.observe(timeout)
+
+        def expire() -> None:
+            current = self._keydist_m3.get(session_id)
+            if current is None or current["attempt"] != attempt:
+                return  # acked, or a later retransmit owns the timer
+            if self.retry_policy.exhausted(attempt):
+                self._keydist_m3.pop(session_id, None)
+                if current["node_id"] is not None:
+                    self._keydist_active.pop(current["node_id"], None)
+                self.keydist_exhausted += 1
+                self._m_retry_exhausted.inc(protocol="keydist_m3")
+                return
+            current["attempt"] = attempt + 1
+            self.keydist_retries += 1
+            self._m_retry_attempts.inc(protocol="keydist_m3")
+            self.send(current["address"], "keydist_m3", {
+                "m3": current["m3"],
+                "session_id": session_id,
+            }, size_bytes=len(current["m3"]))
+            self._arm_keydist_m3(session_id)
+
+        self.network.scheduler.schedule(timeout, expire)
+
+    def _handle_keydist_ack(self, message: Message) -> None:
+        session_id = message.body.get("session_id")
+        entry = self._keydist_m3.pop(session_id, None)
+        if entry is None:
+            return  # duplicate ack (or ack for an abandoned session)
+        if entry["address"] != message.sender:
+            self._keydist_m3[session_id] = entry  # forged ack: keep waiting
+            return
+        if entry["node_id"] is not None:
+            self._keydist_active.pop(entry["node_id"], None)
+        if entry["attempt"] > 1 or entry["m1_attempts"] > 1:
+            self._m_retry_recoveries.inc(protocol="keydist")
 
     def key_distribution_complete(self, device_count: int) -> bool:
         """Whether at least *device_count* handshakes have completed."""

@@ -15,6 +15,12 @@ drive all five instrumented subsystems:
   so the manager runs Fig. 4 handshakes during ``initialize()``;
 * **credit** — a double-spend report is injected mid-run, so penalty
   events and the *punished* difficulty tier both appear.
+* **faults/retries** — a short recovery probe at the end of the run:
+  an in-flight message is purged by a link cut, a duplication overlay
+  doubles a burst of probes, and a key-distribution handshake is run
+  against a crashed-then-restarted device (driving the retry attempt/
+  backoff/recovery counters) plus one against a permanently dead
+  device (driving exhaustion).
 """
 
 from __future__ import annotations
@@ -55,6 +61,8 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
         full_node.consensus.report_double_spend(offender, now)
     system.run_for(seconds / 2)
 
+    _run_recovery_probe(system)
+
     # Reporting reads: consecutive calls hit the rebuild branch first,
     # then the cached branch, covering both cache counters.
     tangle = system.manager.tangle
@@ -63,3 +71,49 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
         tangle.tips()
         tangle.depth_from_tips(genesis_hash)
     return system
+
+
+def _run_recovery_probe(system) -> None:
+    """Drive the fault-injection and retry instruments deterministically.
+
+    The main run is fault-free, so the ``repro_fault_*`` message
+    counters and the ``repro_retry_*`` recovery counters would
+    otherwise stay silent and trip the coverage gate.
+    """
+    from ..network.transport import LinkOverlay
+
+    network = system.network
+    for device in system.devices:
+        device.stop()  # keep the probe's event horizon short
+
+    # In-flight purge: put a message on the manager<->gateway-0 wire,
+    # then sever it before the delivery fires.
+    network.send("manager", "gateway-0", "telemetry_probe", {})
+    network.cut_link("manager", "gateway-0")
+    network.heal_link("manager", "gateway-0")
+
+    # Duplication: with p=0.9 over eight probes a duplicate is all but
+    # certain (and the run is seeded, so "all but" is "exactly").
+    token = network.add_overlay(
+        "manager", "gateway-0", LinkOverlay(duplicate_probability=0.9))
+    for _ in range(8):
+        network.send("manager", "gateway-0", "telemetry_probe", {})
+    system.run_for(2.0)
+    network.remove_overlay(token)
+
+    # Retry recovery: crash a device, start a key distribution at it
+    # (M1 is lost), let the first backoff expire, restart the device,
+    # and let the retried handshake complete.
+    device = system.devices[0]
+    network.take_down(device.address)
+    system.manager.distribute_key(device.address, device.keypair.public)
+    system.run_for(1.0)
+    network.bring_up(device.address)
+    system.run_for(30.0)
+
+    # Retry exhaustion: a permanently dead device drains every attempt.
+    casualty = system.devices[1]
+    network.take_down(casualty.address)
+    system.manager.distribute_key(casualty.address, casualty.keypair.public)
+    system.run_for(40.0)
+    network.bring_up(casualty.address)

@@ -1,0 +1,169 @@
+"""Attacks under degraded networks: the credit mechanism (Section
+VI-C) must keep punishing misbehaviour while a fault plan partitions
+and heals the fabric around it — faults are not an amnesty."""
+
+import random
+
+import pytest
+
+from repro.attacks.double_spend import DoubleSpendAttacker
+from repro.attacks.lazy_tips import LazyLightNode
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto.keys import KeyPair
+from repro.devices.sensors import TemperatureSensor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import PlanBuilder
+from repro.faults.report import node_state_hashes
+
+
+def build_with_lazy_node(*, seed=51, report_interval=2.0):
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=2, gateway_count=1, seed=seed,
+        initial_difficulty=6, report_interval=report_interval,
+    ))
+    lazy_keys = KeyPair.generate(seed=b"lazy-node")
+    lazy = LazyLightNode(
+        "lazy-device", lazy_keys,
+        gateway="gateway-0",
+        manager=system.manager.acl.manager,
+        sensor=TemperatureSensor(seed=99),
+        report_interval=report_interval,
+        rng=random.Random(77),
+        fixed_branch=system.manager.tangle.genesis.tx_hash,
+    )
+    system.network.attach(lazy)
+    system.manager.authorize_devices(
+        [k.public for k in system.device_keys.values()] + [lazy_keys.public]
+    )
+    system.run_for(2.0)
+    return system, lazy
+
+
+def build_with_double_spender(*, seed=61):
+    system = BIoTSystem.build(BIoTConfig(
+        device_count=2, gateway_count=2, seed=seed,
+        initial_difficulty=6, report_interval=2.0,
+    ))
+    attacker_keys = KeyPair.generate(seed=b"double-spender")
+    recipients = [k.public for k in system.device_keys.values()][:2]
+    attacker = DoubleSpendAttacker(
+        "attacker", attacker_keys,
+        gateways=["gateway-0", "gateway-1"],
+        recipients=recipients,
+        amount=1,
+        attack_interval=8.0,
+        rng=random.Random(13),
+    )
+    system.network.attach(attacker)
+    system.manager.authorize_devices(
+        [k.public for k in system.device_keys.values()]
+        + [attacker_keys.public]
+    )
+    for node in system.full_nodes:
+        node.ledger.credit(attacker_keys.node_id, 100)
+    system.run_for(2.0)
+    return system, attacker
+
+
+def converge(system, rounds=3, settle=5.0):
+    system.network.restore_all()
+    for _ in range(rounds):
+        for node in system.full_nodes:
+            node.resync_with_peers()
+        system.run_for(settle)
+        hashes = [node_state_hashes(node) for node in system.full_nodes]
+        if all(h == hashes[0] for h in hashes[1:]):
+            return True
+    return False
+
+
+class TestLazyTipsUnderPartition:
+    def test_lazy_node_punished_while_backbone_partitioned(self):
+        system, lazy = build_with_lazy_node()
+        injector = FaultInjector(system.network,
+                                 full_nodes=system.full_nodes)
+        # Cut the gateway off the manager for most of the attack
+        # window; the gateway keeps scoring its local traffic.
+        injector.apply(PlanBuilder("lazy-partition")
+                       .partition(10.0, 60.0, ("gateway-0",), ("manager",))
+                       .build())
+        lazy.start()
+        system.run_for(90.0)
+        gateway = system.gateways[0]
+        # CrN penalties fired mid-partition, same as fault-free.
+        assert gateway.consensus.lazy_detections > 0
+        assert (gateway.consensus.registry.malicious_count(
+            lazy.keypair.node_id) > 0)
+        assert max(lazy.stats.assigned_difficulties) > 6
+
+    def test_honest_devices_survive_partition_and_attack(self):
+        system, lazy = build_with_lazy_node()
+        injector = FaultInjector(system.network,
+                                 full_nodes=system.full_nodes)
+        injector.apply(PlanBuilder("lazy-partition")
+                       .partition(10.0, 40.0, ("gateway-0",), ("manager",))
+                       .build())
+        lazy.start()
+        honest = system.devices[0]
+        honest.start()
+        system.run_for(90.0)
+        honest.stop()
+        lazy.stop()
+        gateway = system.gateways[0]
+        assert honest.stats.submissions_accepted > 0
+        assert (gateway.consensus.registry.malicious_count(
+            honest.keypair.node_id) == 0)
+        # After healing, the replicas still reconcile.
+        assert converge(system)
+
+
+class TestDoubleSpendUnderPartition:
+    def test_conflicts_detected_and_punished_across_partition(self):
+        system, attacker = build_with_double_spender()
+        injector = FaultInjector(system.network,
+                                 full_nodes=system.full_nodes)
+        # Split the two victim gateways so each sees only one arm of
+        # the double-spend — the strongest version of the attack.
+        injector.apply(PlanBuilder("ds-partition")
+                       .partition(5.0, 45.0,
+                                  ("gateway-0", "manager"),
+                                  ("gateway-1",))
+                       .build())
+        attacker.start()
+        system.run_for(60.0)
+        attacker.stop()
+        assert attacker.stats.rounds_started >= 2
+        total_conflicts = sum(
+            len(node.ledger.conflicts) for node in system.full_nodes)
+        punished = [
+            node.consensus.registry.malicious_count(attacker.keypair.node_id)
+            for node in system.full_nodes
+        ]
+        assert total_conflicts > 0
+        assert any(count > 0 for count in punished)
+        # Balance never goes negative on any replica, even mid-heal.
+        for node in system.full_nodes:
+            assert node.ledger.balance(attacker.keypair.node_id) >= 0
+
+    def test_replicas_reconcile_after_partition_heals(self):
+        system, attacker = build_with_double_spender()
+        injector = FaultInjector(system.network,
+                                 full_nodes=system.full_nodes)
+        injector.apply(PlanBuilder("ds-partition")
+                       .partition(5.0, 45.0,
+                                  ("gateway-0", "manager"),
+                                  ("gateway-1",))
+                       .build())
+        attacker.start()
+        system.run_for(60.0)
+        attacker.stop()
+        system.run_for(5.0)
+        assert converge(system)
+        # Post-heal, every replica agrees on the winner per sequence.
+        reference = system.manager.ledger
+        for node in system.gateways:
+            for sequence in range(attacker.stats.rounds_started):
+                assert (node.ledger.spent_tx(attacker.keypair.node_id,
+                                             sequence)
+                        == reference.spent_tx(attacker.keypair.node_id,
+                                              sequence))

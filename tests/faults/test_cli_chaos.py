@@ -1,0 +1,55 @@
+"""Tests for the ``repro chaos`` CLI: exit codes, the scenario
+catalog listing, and byte-determinism of the written report."""
+
+import json
+
+from repro.cli import main
+from repro.faults.scenarios import SCENARIOS
+
+
+class TestListing:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["chaos", "--scenario", "no-such-thing"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "smoke" in err  # the catalog is named in the hint
+
+
+class TestRun:
+    def test_smoke_run_is_byte_deterministic(self, tmp_path, capsys):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        assert main(["chaos", "--scenario", "smoke", "--seed", "7",
+                     "--out", str(first)]) == 0
+        assert main(["chaos", "--scenario", "smoke", "--seed", "7",
+                     "--out", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_out_file_is_canonical_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["chaos", "--scenario", "smoke", "--seed", "7",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert text.endswith("\n")
+        report = json.loads(text)
+        assert report["scenario"] == "smoke"
+        assert report["seed"] == 7
+        assert report["converged"] is True
+        assert report["node_hashes"]
+        # Canonical form: sorted keys, compact separators, one line.
+        assert text == json.dumps(report, sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+
+    def test_stdout_carries_the_report(self, capsys):
+        assert main(["chaos", "--scenario", "smoke", "--seed", "7"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"] == "smoke"
+        assert report["counters"]["faults_injected"] >= 1

@@ -1,0 +1,67 @@
+"""Null-path equivalence: a chaos run with an empty plan must be
+bit-identical to a plain (harness-free) run of the same workload, with
+zero sync rounds and zero recovery traffic.  This pins down that the
+chaos harness itself perturbs nothing."""
+
+from dataclasses import replace
+
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto import rand
+from repro.faults.plan import FaultPlan
+from repro.faults.report import node_state_hashes
+from repro.faults.runner import ChaosRunner, ChaosSettings
+
+CONFIG = BIoTConfig(gateway_count=2, device_count=3)
+SETTINGS = ChaosSettings(report_seconds=30.0, drain_seconds=10.0)
+SEED = 13
+NAME = "null"
+
+
+def plain_run():
+    """The same workload the runner executes, minus the harness."""
+    with rand.deterministic(f"chaos:{NAME}:{SEED}".encode()):
+        system = BIoTSystem.build(replace(CONFIG, seed=SEED))
+        system.initialize()
+        system.start_devices()
+        system.run_for(max(SETTINGS.report_seconds, 1.0))
+        for device in system.devices:
+            device.stop()
+        system.network.restore_all()
+        system.run_for(SETTINGS.drain_seconds)
+        return system
+
+
+class TestNullPlanEquivalence:
+    def test_empty_plan_matches_plain_run_bit_for_bit(self):
+        report = ChaosRunner(CONFIG, settings=SETTINGS).run(
+            FaultPlan(), seed=SEED, scenario=NAME)
+        system = plain_run()
+        plain_hashes = {node.address: node_state_hashes(node)
+                        for node in system.full_nodes}
+        assert report.node_hashes == plain_hashes
+        assert report.converged
+
+    def test_empty_plan_needs_no_sync_rounds(self):
+        report = ChaosRunner(CONFIG, settings=SETTINGS).run(
+            FaultPlan(), seed=SEED, scenario=NAME)
+        assert report.sync_rounds_used == 0
+
+    def test_empty_plan_triggers_no_recovery_traffic(self):
+        report = ChaosRunner(CONFIG, settings=SETTINGS).run(
+            FaultPlan(), seed=SEED, scenario=NAME)
+        counters = report.counters
+        assert counters["faults_injected"] == 0
+        assert counters["faults_healed"] == 0
+        assert counters["messages_purged"] == 0
+        assert counters["messages_duplicated"] == 0
+        assert counters["keydist_retries"] == 0
+        assert counters["keydist_exhausted"] == 0
+        assert counters["parent_requests_sent"] == 0
+        assert counters["parent_fetch_exhausted"] == 0
+        assert counters["sync_requests_served"] == 0
+
+    def test_empty_plan_run_is_reproducible(self):
+        runner = ChaosRunner(CONFIG, settings=SETTINGS)
+        first = runner.run(FaultPlan(), seed=SEED, scenario=NAME)
+        second = runner.run(FaultPlan(), seed=SEED, scenario=NAME)
+        assert first.to_json() == second.to_json()

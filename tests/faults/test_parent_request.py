@@ -1,0 +1,154 @@
+"""Tests for targeted parent recovery: a gossiped transaction whose
+parent was lost must un-park itself by re-requesting the missing hash
+from peers, with backoff, instead of waiting for a global sync."""
+
+import random
+
+import pytest
+
+from repro.core.consensus import CreditBasedConsensus
+from repro.crypto.keys import KeyPair
+from repro.faults.backoff import BackoffPolicy
+from repro.network.gossip import SolidificationBuffer
+from repro.network.network import Network
+from repro.network.simulator import EventScheduler
+from repro.nodes.full_node import FullNode
+from repro.nodes.manager import ManagerNode
+from repro.pow.engine import PowEngine
+from repro.devices.profiles import PC
+from repro.tangle.transaction import Transaction, TransactionKind
+
+
+@pytest.fixture()
+def pair():
+    """Two full nodes, peered, plus an issuing keypair."""
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=random.Random(5))
+    manager_keys = KeyPair.generate(seed=b"pr-manager")
+    genesis = ManagerNode.create_genesis(manager_keys)
+    policy = BackoffPolicy(base_delay=0.5, max_delay=4.0,
+                           jitter=0.25, max_attempts=4)
+    nodes = []
+    for name in ("alpha", "beta"):
+        node = FullNode(name, genesis, rng=random.Random(7),
+                        enforce_pow=False, retry_policy=policy)
+        network.attach(node)
+        nodes.append(node)
+    nodes[0].add_peer("beta")
+    nodes[1].add_peer("alpha")
+    return scheduler, network, nodes[0], nodes[1], manager_keys, genesis
+
+
+def make_tx(keys, tangle, *, parent=None, timestamp):
+    branch = parent if parent is not None else tangle.genesis.tx_hash
+    trunk = tangle.genesis.tx_hash
+    return Transaction.create(
+        keys, kind=TransactionKind.DATA, payload=b"x",
+        timestamp=timestamp, branch=branch, trunk=trunk,
+        difficulty=1, nonce=None,
+    )
+
+
+class TestParentRecovery:
+    def test_lost_parent_is_refetched(self, pair):
+        scheduler, network, alpha, beta, keys, genesis = pair
+        # Parent attaches at alpha while the link is cut: its gossip
+        # to beta is lost forever.
+        network.cut_link("alpha", "beta")
+        parent = make_tx(keys, alpha.tangle, timestamp=0.0)
+        ok, _ = alpha._ingest(parent, source=None, admit=False)
+        assert ok
+        scheduler.run_until(1.0)
+        network.heal_link("alpha", "beta")
+        assert parent.tx_hash not in beta.tangle
+
+        # The child gossips through: beta parks it and re-requests.
+        child = make_tx(keys, alpha.tangle, parent=parent.tx_hash,
+                        timestamp=1.0)
+        ok, _ = alpha._ingest(child, source=None, admit=False)
+        assert ok
+        scheduler.run_until(10.0)
+
+        assert parent.tx_hash in beta.tangle
+        assert child.tx_hash in beta.tangle
+        assert len(beta.solidification) == 0
+        assert beta.stats.parent_requests_sent >= 1
+        assert alpha.stats.parent_requests_served >= 1
+        assert beta.stats.parent_fetch_recoveries >= 1
+
+    def test_no_requests_when_nothing_missing(self, pair):
+        scheduler, network, alpha, beta, keys, genesis = pair
+        tx = make_tx(keys, alpha.tangle, timestamp=0.0)
+        alpha._ingest(tx, source=None, admit=False)
+        scheduler.run_until(5.0)
+        assert tx.tx_hash in beta.tangle
+        assert beta.stats.parent_requests_sent == 0
+        assert alpha.stats.parent_requests_sent == 0
+
+    def test_exhaustion_stops_requesting(self, pair):
+        scheduler, network, alpha, beta, keys, genesis = pair
+        network.cut_link("alpha", "beta")
+        parent = make_tx(keys, alpha.tangle, timestamp=0.0)
+        alpha._ingest(parent, source=None, admit=False)
+        scheduler.run_until(1.0)
+        # Deliver the child directly (bypassing the cut) so beta parks
+        # it while every re-request to alpha keeps getting dropped.
+        beta._ingest(make_tx(keys, alpha.tangle, parent=parent.tx_hash,
+                             timestamp=1.0), source=None, admit=False)
+        scheduler.run_until(60.0)
+        assert beta.stats.parent_fetch_exhausted == 1
+        assert beta.stats.parent_requests_sent == 4  # max_attempts
+        sent_before = beta.stats.parent_requests_sent
+        scheduler.run_until(120.0)
+        assert beta.stats.parent_requests_sent == sent_before
+
+    def test_deep_gap_recovered_recursively(self, pair):
+        scheduler, network, alpha, beta, keys, genesis = pair
+        network.cut_link("alpha", "beta")
+        chain = []
+        parent_hash = None
+        for index in range(3):
+            tx = make_tx(keys, alpha.tangle, parent=parent_hash,
+                         timestamp=float(index))
+            alpha._ingest(tx, source=None, admit=False)
+            chain.append(tx)
+            parent_hash = tx.tx_hash
+        scheduler.run_until(4.0)
+        network.heal_link("alpha", "beta")
+        tip = make_tx(keys, alpha.tangle, parent=parent_hash, timestamp=4.0)
+        alpha._ingest(tip, source=None, admit=False)
+        scheduler.run_until(20.0)
+        # The parent response carries the requested hash plus its
+        # ancestors, so the whole lost chain arrives.
+        for tx in chain + [tip]:
+            assert tx.tx_hash in beta.tangle
+
+    def test_duplicate_parked_child_single_request_loop(self, pair):
+        scheduler, network, alpha, beta, keys, genesis = pair
+        network.cut_link("alpha", "beta")
+        parent = make_tx(keys, alpha.tangle, timestamp=0.0)
+        alpha._ingest(parent, source=None, admit=False)
+        scheduler.run_until(1.0)
+        network.heal_link("alpha", "beta")
+        child = make_tx(keys, alpha.tangle, parent=parent.tx_hash,
+                        timestamp=1.0)
+        # The same child parks once; repeated deliveries must not arm
+        # extra request loops for the same missing parent.
+        beta._ingest(child, source=None, admit=False)
+        beta._ingest(child, source=None, admit=False)
+        assert len(beta._parent_requests) == 1
+        scheduler.run_until(10.0)
+        assert parent.tx_hash in beta.tangle
+        assert len(beta._parent_requests) == 0
+
+
+class TestSolidificationAccessors:
+    def test_missing_dependencies_reports_waited_hashes(self):
+        buffer = SolidificationBuffer()
+        buffer.park(b"c" * 32, "item-c", [b"a" * 32, b"b" * 32])
+        buffer.park(b"d" * 32, "item-d", [b"b" * 32])
+        assert buffer.missing_dependencies() == [b"a" * 32, b"b" * 32]
+        assert buffer.waiter_count(b"b" * 32) == 2
+        buffer.satisfy(b"b" * 32)
+        assert buffer.missing_dependencies() == [b"a" * 32]
+        assert buffer.waiter_count(b"b" * 32) == 0

@@ -171,3 +171,86 @@ class TestObservation:
         scheduler.run()
         assert 50 < len(b.inbox) < 150
         assert network.messages_dropped == 200 - len(b.inbox)
+
+
+class TestInFlightPurge:
+    """Cutting a link or downing a node must also kill traffic already
+    in the air — a partition that lets queued packets land is not a
+    partition."""
+
+    def test_cut_link_purges_in_flight(self, net):
+        scheduler, network, a, b, _ = net
+        network.set_link("a", "b", LatencyModel(base_latency=2.0))
+        a.send("b", "ping", None)
+        scheduler.run_until(1.0)  # mid-flight
+        network.cut_link("a", "b")
+        scheduler.run_until(5.0)
+        assert b.inbox == []
+        assert network.messages_purged == 1
+
+    def test_take_down_purges_inbound(self, net):
+        scheduler, network, a, b, _ = net
+        network.set_link("a", "b", LatencyModel(base_latency=2.0))
+        a.send("b", "ping", None)
+        scheduler.run_until(1.0)
+        network.take_down("b")
+        network.bring_up("b")
+        scheduler.run_until(5.0)
+        assert b.inbox == []
+        assert network.messages_purged == 1
+
+    def test_purge_spares_unrelated_traffic(self, net):
+        scheduler, network, a, b, c = net
+        network.set_link("a", "b", LatencyModel(base_latency=2.0))
+        network.set_link("a", "c", LatencyModel(base_latency=2.0))
+        a.send("b", "ping", None)
+        a.send("c", "ping", None)
+        scheduler.run_until(1.0)
+        network.cut_link("a", "b")
+        scheduler.run_until(5.0)
+        assert b.inbox == []
+        assert len(c.inbox) == 1
+        assert network.messages_purged == 1
+
+    def test_delivered_message_not_purged_later(self, net):
+        scheduler, network, a, b, _ = net
+        a.send("b", "ping", None)
+        scheduler.run()
+        assert len(b.inbox) == 1
+        network.cut_link("a", "b")
+        assert network.messages_purged == 0
+
+
+class TestOverlaysAndRestore:
+    def test_duplication_overlay_and_removal(self, net):
+        from repro.network.transport import LinkOverlay
+        scheduler, network, a, b, _ = net
+        token = network.add_overlay(
+            "a", "b", LinkOverlay(duplicate_probability=0.9))
+        for _ in range(10):
+            a.send("b", "ping", None)
+        scheduler.run()
+        assert len(b.inbox) > 10
+        assert network.messages_duplicated == len(b.inbox) - 10
+        network.remove_overlay(token)
+        duplicated = network.messages_duplicated
+        for _ in range(10):
+            a.send("b", "ping", None)
+        scheduler.run()
+        assert network.messages_duplicated == duplicated  # overlay gone
+
+    def test_restore_all_clears_every_fault(self, net):
+        from repro.network.transport import LinkOverlay
+        scheduler, network, a, b, c = net
+        network.cut_link("a", "b")
+        network.take_down("c")
+        network.add_overlay("a", "b", LinkOverlay(extra_loss=0.99))
+        b.clock_offset = 3.0
+        network.restore_all()
+        assert not network.is_down("c")
+        assert b.clock_offset == 0.0
+        a.send("b", "ping", None)
+        for _ in range(20):
+            a.send("b", "bulk", None)
+        scheduler.run()
+        assert len(b.inbox) == 21  # cut healed AND loss overlay gone
