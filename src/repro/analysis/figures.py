@@ -165,6 +165,9 @@ def fig8_credit_trace(*, attack_times: Tuple[float, ...] = (24.0,),
         registry, policy=InverseDifficultyPolicy(),
         max_parent_age=float("inf"),
     )
+    # Push-mode weight wiring: recorded weights are cached, so the
+    # tangle must stream cumulative-weight updates into the registry.
+    consensus.bind_tangle(tangle)
     profile = RASPBERRY_PI_3B
     tracer = CreditTracer(registry, keys.node_id)
     node_id = keys.node_id
@@ -237,6 +240,7 @@ def _run_fig9_regime(name: str, policy: DifficultyPolicy,
     # is off here.
     consensus = CreditBasedConsensus(registry, policy=policy,
                                      max_parent_age=float("inf"))
+    consensus.bind_tangle(tangle)
     profile = RASPBERRY_PI_3B
     engine = PowEngine(profile, SimulatedClock(), rng=random.Random(seed),
                        real_difficulty_limit=0)

@@ -146,6 +146,18 @@ class BIoTSystem:
             telemetry=telemetry,
         )
 
+        # One verification cache and one decode cache for the whole
+        # deployment: verification of an immutable transaction is
+        # deterministic, so the first full node to verify (or decode) a
+        # flooded transaction pays and every later hop hits.  These are
+        # simulation-level shortcuts — each node still *logically*
+        # verifies; the caches only deduplicate the identical crypto.
+        from ..tangle.transaction import TransactionDecodeCache
+        from ..tangle.validation import VerificationCache
+
+        verification_cache = VerificationCache(telemetry=telemetry)
+        decode_cache = TransactionDecodeCache(telemetry=telemetry)
+
         manager_keys = KeyPair.generate(seed=f"manager:{config.seed}".encode())
         device_keys = {
             f"device-{i}": KeyPair.generate(seed=f"device:{config.seed}:{i}".encode())
@@ -184,9 +196,10 @@ class BIoTSystem:
             rng=random.Random(master.randrange(2 ** 63)),
             enforce_pow=config.enforce_pow,
             retry_policy=config.retry_policy,
+            verification_cache=verification_cache,
+            decode_cache=decode_cache,
             telemetry=telemetry,
         )
-        manager.consensus.registry.set_weight_provider(manager.tangle.weight)
         network.attach(manager)
 
         gateways: List[FullNode] = []
@@ -204,9 +217,10 @@ class BIoTSystem:
                 rng=random.Random(master.randrange(2 ** 63)),
                 enforce_pow=config.enforce_pow,
                 retry_policy=config.retry_policy,
+                verification_cache=verification_cache,
+                decode_cache=decode_cache,
                 telemetry=telemetry,
             )
-            gateway.consensus.registry.set_weight_provider(gateway.tangle.weight)
             network.attach(gateway)
             gateways.append(gateway)
 

@@ -213,6 +213,27 @@ class CreditBasedConsensus:
             self.policy, "initial_difficulty",
             getattr(self.policy, "difficulty", None))
 
+    # -- wiring ----------------------------------------------------------
+
+    def bind_tangle(self, tangle: Tangle) -> None:
+        """Wire this consensus' credit registry to *tangle*'s weight
+        engine, in one call:
+
+        * the registry resolves transaction weights through
+          ``tangle.weight`` (O(1) for freshly attached transactions via
+          the no-approvers fast path);
+        * the tangle's flush listener pushes changed cumulative weights
+          into the registry's record cache
+          (:meth:`~repro.core.credit.CreditRegistry.refresh_weight_values`);
+        * the registry flushes pending batched contributions before
+          every evaluation (:meth:`~repro.core.credit.CreditRegistry.
+          set_refresh_hook`), so evaluations observe exactly the weights
+          a from-scratch rescan would.
+        """
+        self.registry.set_weight_provider(tangle.weight)
+        tangle.add_weight_listener(self.registry.refresh_weight_values)
+        self.registry.set_refresh_hook(tangle.flush_weights)
+
     # -- difficulty ------------------------------------------------------
 
     def credit(self, node_id: bytes, now: float) -> float:

@@ -22,14 +22,50 @@ Section VI-A fixes the evaluation parameters: λ1 = 1, λ2 = 0.5,
 
 The weight ``w_k`` of a transaction is its tangle weight ("the number
 of validation[s] to this transaction"), so the registry takes a
-*weight provider* callback and re-reads weights at evaluation time:
-credit genuinely rises as the network approves your transactions.
+*weight provider* callback: credit genuinely rises as the network
+approves your transactions.
+
+Scale notes
+-----------
+
+Eqn. 3 sits on the per-transaction hot path: every
+``required_difficulty`` call (tip requests, admission validation)
+evaluates CrP.  The seed implementation rescanned the node's whole
+transaction history per evaluation — O(history) — which dominates once
+histories reach tens of thousands of records.  The registry now keeps,
+per node, a timestamp-sorted record list with a **rolling window
+aggregate**: a running sum over exactly the records inside
+``[now − ΔT, now]``, advanced by monotonic eviction/admission as
+``now`` moves forward (amortised O(1) per evaluation) and rebuilt by
+bisection when ``now`` jumps backwards (O(log n + active)).
+
+Weights are *cached at record time* instead of re-read from the
+provider on every evaluation.  Two hooks keep the cache exact:
+
+* :meth:`CreditRegistry.refresh_weight_values` — push updated weights
+  in (the tangle's batched weight engine calls this from its flush
+  listener, see :meth:`~repro.tangle.tangle.Tangle.add_weight_listener`);
+* :meth:`CreditRegistry.set_refresh_hook` — a callable invoked before
+  every evaluation (wired to ``tangle.flush_weights`` so pending
+  batched contributions land before CrP is read).
+
+With both wired (``CreditBasedConsensus.bind_tangle`` does it in one
+call) every evaluation observes exactly the weights the naive rescan
+would have observed.  Exactness is proven differentially in
+``tests/core/test_credit_differential.py`` against the kept naive
+reference (``tests/core/credit_reference.py``).
+
+All weights in the system are small integers clamped to
+``max_transaction_weight`` (≤ 5 by default), so the running-sum
+arithmetic below is exact: every partial sum is an integer multiple of
+the clamp granularity, far below 2**53.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..telemetry.registry import coerce_registry
 
@@ -116,10 +152,95 @@ class CreditBreakdown:
     malicious_events: int
 
 
-@dataclass
+class _Record:
+    """One recorded transaction: timestamp, hash, cached capped weight.
+
+    ``seq`` is a registry-global insertion sequence used as the sort
+    tie-break for equal timestamps, so summation order is deterministic
+    regardless of arrival order.
+    """
+
+    __slots__ = ("timestamp", "tx_hash", "weight", "seq", "owner")
+
+    def __init__(self, timestamp: float, tx_hash: bytes, weight: float,
+                 seq: int, owner: "_NodeHistory"):
+        self.timestamp = timestamp
+        self.tx_hash = tx_hash
+        self.weight = weight
+        self.seq = seq
+        self.owner = owner
+
+    def __lt__(self, other: "_Record") -> bool:
+        return (self.timestamp, self.seq) < (other.timestamp, other.seq)
+
+
 class _NodeHistory:
-    transactions: List[Tuple[float, bytes]] = field(default_factory=list)
-    malicious: List[Tuple[float, str]] = field(default_factory=list)
+    """Per-node behaviour history with the rolling CrP window.
+
+    ``records``/``timestamps`` are parallel arrays kept sorted by
+    ``(timestamp, seq)`` — ``timestamps`` exists so window bounds are a
+    bisect away.  The window state caches the sum of record weights
+    inside ``[w_now − ΔT, w_now]``; ``w_now is None`` marks it dirty
+    (out-of-order insert, prune, import), forcing a bisect rebuild on
+    the next evaluation.
+    """
+
+    __slots__ = ("records", "timestamps", "malicious",
+                 "w_lo", "w_hi", "w_sum", "w_now")
+
+    def __init__(self):
+        self.records: List[_Record] = []
+        self.timestamps: List[float] = []
+        self.malicious: List[Tuple[float, str]] = []
+        self.w_lo = 0
+        self.w_hi = 0
+        self.w_sum = 0.0
+        self.w_now: Optional[float] = None
+
+    @property
+    def transactions(self) -> List[Tuple[float, bytes]]:
+        """Legacy tuple view of the records (tests, debugging)."""
+        return [(r.timestamp, r.tx_hash) for r in self.records]
+
+    def window_sum(self, now: float, delta_t: float) -> float:
+        """Sum of cached weights for records in ``[now − ΔT, now]``.
+
+        Amortised O(1) while ``now`` is non-decreasing (each record is
+        admitted once and evicted once); O(log n + active) rebuild when
+        ``now`` moves backwards or the window was invalidated.
+        """
+        start = now - delta_t
+        timestamps = self.timestamps
+        if self.w_now is None or now < self.w_now:
+            lo = bisect_left(timestamps, start)
+            hi = bisect_right(timestamps, now)
+            self.w_lo, self.w_hi = lo, hi
+            self.w_sum = sum(r.weight for r in self.records[lo:hi])
+        else:
+            hi = self.w_hi
+            n = len(timestamps)
+            total = self.w_sum
+            records = self.records
+            while hi < n and timestamps[hi] <= now:
+                total += records[hi].weight
+                hi += 1
+            lo = self.w_lo
+            while lo < hi and timestamps[lo] < start:
+                total -= records[lo].weight
+                lo += 1
+            if lo == hi:
+                total = 0.0  # exact reset: no drift survives an empty window
+            self.w_lo, self.w_hi, self.w_sum = lo, hi, total
+        self.w_now = now
+        return self.w_sum
+
+    def active_count(self, now: float, delta_t: float) -> int:
+        """How many records fall inside ``[now − ΔT, now]``."""
+        return (bisect_right(self.timestamps, now)
+                - bisect_left(self.timestamps, now - delta_t))
+
+    def invalidate_window(self) -> None:
+        self.w_now = None
 
 
 class CreditRegistry:
@@ -129,7 +250,10 @@ class CreditRegistry:
         params: the :class:`CreditParameters` in force.
         weight_provider: callable mapping a transaction hash to its
             current tangle weight; defaults to weight 1 per transaction
-            (pure activity counting).
+            (pure activity counting).  The provider is consulted when a
+            record is created (and by :meth:`refresh_weight` /
+            :meth:`export_state`), not on every evaluation — push
+            weight changes in via :meth:`refresh_weight_values`.
         telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
             ``repro_credit_*`` metrics (recorded transactions, penalty
             events by behaviour, evaluation counts).
@@ -141,9 +265,17 @@ class CreditRegistry:
         self.params = params if params is not None else CreditParameters()
         self._weight_provider = weight_provider
         self._history: Dict[bytes, _NodeHistory] = {}
+        # tx hash -> records carrying it (same hash may be recorded more
+        # than once, even across nodes) — the refresh-hook fan-in.
+        self._records_by_hash: Dict[bytes, List[_Record]] = {}
+        self._seq = 0
         # Weights frozen at snapshot time for records whose transaction
         # is no longer resolvable (pruned) — see import_state.
         self._weight_overrides: Dict[bytes, float] = {}
+        # Invoked before every evaluation; full nodes wire this to
+        # ``tangle.flush_weights`` so batched weight contributions land
+        # (and flow back in through the flush listener) first.
+        self._refresh_hook: Optional[Callable[[], object]] = None
         self.telemetry = coerce_registry(telemetry)
         self._m_transactions = self.telemetry.counter(
             "repro_credit_transactions_total",
@@ -161,8 +293,25 @@ class CreditRegistry:
 
         Full nodes build their credit registry before their tangle
         replica exists; this closes the loop once the tangle is up.
+        Every cached record weight is re-resolved through the new
+        provider so evaluations reflect it immediately.
         """
         self._weight_provider = weight_provider
+        for history in self._history.values():
+            for record in history.records:
+                record.weight = self._transaction_weight(record.tx_hash)
+            history.invalidate_window()
+
+    def set_refresh_hook(self, hook: Optional[Callable[[], object]]) -> None:
+        """Install a callable invoked before every evaluation.
+
+        Full nodes pass ``tangle.flush_weights``: flushing propagates
+        pending batched weight contributions, whose new values reach
+        this registry through the tangle's weight listener — so the
+        cached window observes exactly what a from-scratch provider
+        rescan would.
+        """
+        self._refresh_hook = hook
 
     # -- recording -------------------------------------------------------
 
@@ -175,8 +324,35 @@ class CreditRegistry:
 
     def record_transaction(self, node_id: bytes, tx_hash: bytes,
                            timestamp: float) -> None:
-        """Record a *valid* transaction issued by *node_id*."""
-        self._node(node_id).transactions.append((timestamp, tx_hash))
+        """Record a *valid* transaction issued by *node_id*.
+
+        The transaction's weight is resolved (and cached) now; weight
+        growth is pushed in later via :meth:`refresh_weight_values`.
+        Appends are O(1); an out-of-order timestamp pays an O(n) insort
+        and invalidates the rolling window.
+        """
+        history = self._node(node_id)
+        record = _Record(timestamp, tx_hash,
+                         self._transaction_weight(tx_hash),
+                         self._seq, history)
+        self._seq += 1
+        if not history.timestamps or timestamp >= history.timestamps[-1]:
+            history.records.append(record)
+            history.timestamps.append(timestamp)
+            # Eagerly admit appends that land inside the current valid
+            # window: weight pushes arriving before the next evaluation
+            # must only ever adjust records the sum actually counts.
+            w_now = history.w_now
+            if (w_now is not None and timestamp <= w_now
+                    and timestamp >= w_now - self.params.delta_t):
+                history.w_sum += record.weight
+                history.w_hi += 1
+        else:
+            index = bisect_right(history.timestamps, timestamp)
+            history.records.insert(index, record)
+            history.timestamps.insert(index, timestamp)
+            history.invalidate_window()
+        self._records_by_hash.setdefault(tx_hash, []).append(record)
         self._m_transactions.inc()
 
     def record_malicious(self, node_id: bytes, behaviour: str,
@@ -190,11 +366,61 @@ class CreditRegistry:
 
     def transaction_count(self, node_id: bytes) -> int:
         history = self._history.get(node_id)
-        return len(history.transactions) if history else 0
+        return len(history.records) if history else 0
 
     def malicious_count(self, node_id: bytes) -> int:
         history = self._history.get(node_id)
         return len(history.malicious) if history else 0
+
+    # -- weight cache maintenance ----------------------------------------
+
+    def _apply_weight(self, record: _Record, weight: float) -> None:
+        if weight == record.weight:
+            return
+        history = record.owner
+        w_now = history.w_now
+        if (w_now is not None
+                and w_now - self.params.delta_t <= record.timestamp <= w_now):
+            history.w_sum += weight - record.weight
+        record.weight = weight
+        # Records outside the current window (or under a dirty window)
+        # need no sum adjustment: they enter with their new weight when
+        # the window reaches them.
+
+    def refresh_weight(self, tx_hash: bytes) -> int:
+        """Re-resolve *tx_hash*'s weight through the provider; returns
+        how many records were updated."""
+        records = self._records_by_hash.get(tx_hash)
+        if not records:
+            return 0
+        weight = self._transaction_weight(tx_hash)
+        for record in records:
+            self._apply_weight(record, weight)
+        return len(records)
+
+    def refresh_weight_values(self, updates: Mapping[bytes, float]) -> int:
+        """Push externally computed weight updates into the cache.
+
+        *updates* maps transaction hashes to their new **raw** weights
+        (the clamp is applied here); hashes this registry never
+        recorded are ignored.  This is the tangle flush listener's
+        entry point — see
+        :meth:`~repro.tangle.tangle.Tangle.add_weight_listener`.
+        Returns how many records changed.
+        """
+        cap = self.params.max_transaction_weight
+        records_by_hash = self._records_by_hash
+        changed = 0
+        for tx_hash, raw in updates.items():
+            records = records_by_hash.get(tx_hash)
+            if not records:
+                continue
+            weight = min(float(raw), cap)
+            for record in records:
+                if record.weight != weight:
+                    self._apply_weight(record, weight)
+                    changed += 1
+        return changed
 
     # -- evaluation ------------------------------------------------------
 
@@ -210,18 +436,22 @@ class CreditRegistry:
             weight = self._weight_overrides.get(tx_hash, 1.0)
         return min(weight, self.params.max_transaction_weight)
 
+    def _pre_evaluate(self) -> None:
+        if self._refresh_hook is not None:
+            self._refresh_hook()
+
     def positive_credit(self, node_id: bytes, now: float) -> float:
-        """CrP_i (Eqn. 3): weighted activity over the last ΔT seconds."""
+        """CrP_i (Eqn. 3): weighted activity over the last ΔT seconds.
+
+        Served from the per-node rolling window — amortised O(1) for
+        monotone ``now``, never O(history).
+        """
+        self._pre_evaluate()
         history = self._history.get(node_id)
         if history is None:
             return 0.0
-        window_start = now - self.params.delta_t
-        total_weight = sum(
-            self._transaction_weight(tx_hash)
-            for timestamp, tx_hash in history.transactions
-            if window_start <= timestamp <= now
-        )
-        return total_weight / self.params.delta_t
+        return (history.window_sum(now, self.params.delta_t)
+                / self.params.delta_t)
 
     def negative_credit(self, node_id: bytes, now: float) -> float:
         """CrN_i (Eqn. 4): decaying, never-vanishing penalties."""
@@ -252,15 +482,12 @@ class CreditRegistry:
         positive = self.positive_credit(node_id, now)
         negative = self.negative_credit(node_id, now)
         history = self._history.get(node_id)
-        window_start = now - self.params.delta_t
         active = 0
         malicious = 0
         if history is not None:
-            active = sum(
-                1 for timestamp, _ in history.transactions
-                if window_start <= timestamp <= now
-            )
-            malicious = sum(1 for timestamp, _ in history.malicious if timestamp <= now)
+            active = history.active_count(now, self.params.delta_t)
+            malicious = sum(
+                1 for timestamp, _ in history.malicious if timestamp <= now)
         return CreditBreakdown(
             credit=self.params.lambda1 * positive + self.params.lambda2 * negative,
             positive=positive,
@@ -276,68 +503,88 @@ class CreditRegistry:
 
         Transaction records older than ΔT before *now* are dropped
         (they can never re-enter the CrP window); malicious records are
-        exported in full — Eqn. 4 never forgets.
+        exported in full — Eqn. 4 never forgets.  Each node's export is
+        O(active), found by bisection, not an O(history) filter.
         """
+        self._pre_evaluate()
         cutoff = now - self.params.delta_t
-        return {
-            "now": now,
-            "nodes": {
-                node_id.hex(): {
-                    # Each record carries its weight *resolved now*: the
-                    # importer may not hold the transaction any more
-                    # (pruned), and replicas must still agree on CrP.
-                    "transactions": [
-                        [timestamp, tx_hash.hex(),
-                         self._transaction_weight(tx_hash)]
-                        for timestamp, tx_hash in history.transactions
-                        if timestamp >= cutoff
-                    ],
-                    "malicious": [
-                        [timestamp, behaviour]
-                        for timestamp, behaviour in history.malicious
-                    ],
-                }
-                for node_id, history in self._history.items()
-            },
-        }
+        nodes: Dict[str, object] = {}
+        for node_id, history in self._history.items():
+            keep = bisect_left(history.timestamps, cutoff)
+            nodes[node_id.hex()] = {
+                # Each record carries its weight *resolved now*: the
+                # importer may not hold the transaction any more
+                # (pruned), and replicas must still agree on CrP.
+                "transactions": [
+                    [record.timestamp, record.tx_hash.hex(),
+                     self._transaction_weight(record.tx_hash)]
+                    for record in history.records[keep:]
+                ],
+                "malicious": [
+                    [timestamp, behaviour]
+                    for timestamp, behaviour in history.malicious
+                ],
+            }
+        return {"now": now, "nodes": nodes}
 
     def import_state(self, state: Dict[str, object]) -> None:
         """Restore :meth:`export_state` output (replaces all histories)."""
         try:
             histories: Dict[bytes, _NodeHistory] = {}
             overrides: Dict[bytes, float] = {}
+            records_by_hash: Dict[bytes, List[_Record]] = {}
+            seq = self._seq
             for node_hex, entry in state["nodes"].items():
-                transactions = []
-                for record in entry["transactions"]:
-                    timestamp, tx_hash_hex, weight = record
+                history = _NodeHistory()
+                for record_entry in entry["transactions"]:
+                    timestamp, tx_hash_hex, weight = record_entry
                     tx_hash = bytes.fromhex(tx_hash_hex)
-                    transactions.append((float(timestamp), tx_hash))
                     overrides[tx_hash] = float(weight)
-                history = _NodeHistory(
-                    transactions=transactions,
-                    malicious=[
-                        (float(timestamp), str(behaviour))
-                        for timestamp, behaviour in entry["malicious"]
-                    ],
-                )
+                    record = _Record(float(timestamp), tx_hash,
+                                     float(weight), seq, history)
+                    seq += 1
+                    insort(history.records, record)
+                    records_by_hash.setdefault(tx_hash, []).append(record)
+                history.timestamps = [r.timestamp for r in history.records]
+                history.malicious = [
+                    (float(timestamp), str(behaviour))
+                    for timestamp, behaviour in entry["malicious"]
+                ]
                 histories[bytes.fromhex(node_hex)] = history
         except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(f"bad credit state: {exc}") from exc
+        self._seq = seq
         self._history = histories
+        self._records_by_hash = records_by_hash
         self._weight_overrides = overrides
+        # Re-resolve against the live provider where possible: imported
+        # weights are the frozen fallback for pruned transactions only.
+        for history in histories.values():
+            for record in history.records:
+                record.weight = self._transaction_weight(record.tx_hash)
 
     def forget_before(self, node_id: bytes, cutoff: float) -> int:
         """Prune transaction records older than *cutoff* (they can no
         longer enter the CrP window).  Malicious records are *never*
         pruned — Eqn. 4's penalties decay but "cannot be eliminated over
-        time".  Returns how many records were dropped."""
+        time".  Returns how many records were dropped.
+
+        O(log n + dropped): the prune point is found by bisection and
+        only the dropped prefix is touched, never the retained suffix.
+        """
         history = self._history.get(node_id)
         if history is None:
             return 0
-        before = len(history.transactions)
-        history.transactions = [
-            (timestamp, tx_hash)
-            for timestamp, tx_hash in history.transactions
-            if timestamp >= cutoff
-        ]
-        return before - len(history.transactions)
+        keep = bisect_left(history.timestamps, cutoff)
+        if keep == 0:
+            return 0
+        for record in history.records[:keep]:
+            siblings = self._records_by_hash.get(record.tx_hash)
+            if siblings is not None:
+                siblings.remove(record)
+                if not siblings:
+                    del self._records_by_hash[record.tx_hash]
+        del history.records[:keep]
+        del history.timestamps[:keep]
+        history.invalidate_window()
+        return keep

@@ -13,7 +13,7 @@ mechanics make that work over a lossy asynchronous network:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from typing import Dict, Generic, Iterable, List, Set, Tuple, TypeVar
 
 from ..telemetry.registry import coerce_registry
@@ -35,7 +35,10 @@ class GossipRelay:
 
     def __init__(self, peers: Iterable[str] = (), *, telemetry=None,
                  node: str = ""):
-        self.peers: List[str] = list(peers)
+        self.peers: List[str] = []
+        self._peer_set: Set[str] = set()
+        for peer in peers:
+            self.add_peer(peer)
         self._seen: Set[bytes] = set()
         self.relays = 0
         self.duplicates_suppressed = 0
@@ -49,12 +52,21 @@ class GossipRelay:
             "Gossip items suppressed as already seen, by node")
 
     def add_peer(self, address: str) -> None:
-        if address not in self.peers:
+        # Set-backed membership: a 200-node mesh re-registering peers
+        # must not pay an O(peers) list scan per registration.
+        if address not in self._peer_set:
+            self._peer_set.add(address)
             self.peers.append(address)
 
     def remove_peer(self, address: str) -> None:
-        if address in self.peers:
+        if address in self._peer_set:
+            self._peer_set.discard(address)
             self.peers.remove(address)
+
+    def has_peer(self, address: str) -> bool:
+        """O(1) peer-membership test (``peers`` stays a list for
+        deterministic round-robin indexing)."""
+        return address in self._peer_set
 
     def mark_seen(self, item_id: bytes) -> bool:
         """Record *item_id*; returns True when it is new."""
@@ -64,6 +76,21 @@ class GossipRelay:
             return False
         self._seen.add(item_id)
         return True
+
+    def mark_seen_batch(self, item_ids: Iterable[bytes]) -> int:
+        """Bulk :meth:`mark_seen` — one set merge instead of a Python
+        loop; returns how many ids were new.  Duplicate suppressions are
+        counted identically to the per-item path (snapshot adoption and
+        sync batches mark thousands of ids at once).
+        """
+        ids = item_ids if isinstance(item_ids, (list, tuple)) else list(item_ids)
+        new_ids = set(ids) - self._seen
+        duplicates = len(ids) - len(new_ids)
+        if duplicates:
+            self.duplicates_suppressed += duplicates
+            self._m_duplicates.inc(duplicates, node=self._node_label)
+        self._seen |= new_ids
+        return len(new_ids)
 
     def has_seen(self, item_id: bytes) -> bool:
         return item_id in self._seen
@@ -92,11 +119,14 @@ class SolidificationBuffer(Generic[ItemT]):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        # parked item id -> (item, missing dependency ids)
-        self._parked: Dict[bytes, Tuple[ItemT, Set[bytes]]] = {}
+        # parked item id -> (item, missing dependency ids), insertion
+        # ordered: the OrderedDict *is* the eviction queue, so eviction
+        # (popitem) and release (del) are O(1) — the former list-based
+        # order index paid O(n) per pop(0)/remove().
+        self._parked: "OrderedDict[bytes, Tuple[ItemT, Set[bytes]]]" = \
+            OrderedDict()
         # dependency id -> parked item ids waiting on it
         self._waiters: Dict[bytes, Set[bytes]] = defaultdict(set)
-        self._insertion_order: List[bytes] = []
         self.evictions = 0
 
     def __len__(self) -> int:
@@ -115,7 +145,6 @@ class SolidificationBuffer(Generic[ItemT]):
         if len(self._parked) >= self.capacity:
             self._evict_oldest()
         self._parked[item_id] = (item, missing_set)
-        self._insertion_order.append(item_id)
         for dependency in missing_set:
             self._waiters[dependency].add(item_id)
 
@@ -143,13 +172,11 @@ class SolidificationBuffer(Generic[ItemT]):
             missing.discard(dependency_id)
             if not missing:
                 del self._parked[waiting_id]
-                self._insertion_order.remove(waiting_id)
                 released.append((waiting_id, item))
         return released
 
     def _evict_oldest(self) -> None:
-        oldest_id = self._insertion_order.pop(0)
-        _, missing = self._parked.pop(oldest_id)
+        oldest_id, (_, missing) = self._parked.popitem(last=False)
         for dependency in missing:
             self._waiters[dependency].discard(oldest_id)
         self.evictions += 1

@@ -112,6 +112,10 @@ class Network:
         self.default_link = default_link
         self._rng = rng if rng is not None else random.Random()
         self._nodes: Dict[str, NetworkNode] = {}
+        # Sorted-address cache: broadcast() reads `addresses` once per
+        # call, and re-sorting a few hundred addresses per broadcast is
+        # pure waste when the topology rarely changes.
+        self._addresses_cache: Optional[Tuple[str, ...]] = None
         self._links: Dict[Tuple[str, str], LatencyModel] = {}
         self._down: Set[str] = set()
         self._cut_links: Set[Tuple[str, str]] = set()
@@ -156,6 +160,7 @@ class Network:
         if node.address in self._nodes:
             raise ValueError(f"address {node.address!r} already attached")
         self._nodes[node.address] = node
+        self._addresses_cache = None
         node.bind(self)
 
     def node(self, address: str) -> NetworkNode:
@@ -163,7 +168,12 @@ class Network:
 
     @property
     def addresses(self) -> List[str]:
-        return sorted(self._nodes)
+        """All attached addresses, sorted.  Served from a cache that is
+        invalidated on :meth:`attach` (the only topology mutation);
+        callers get a fresh list copy, so mutating it is safe."""
+        if self._addresses_cache is None:
+            self._addresses_cache = tuple(sorted(self._nodes))
+        return list(self._addresses_cache)
 
     def set_link(self, a: str, b: str, model: LatencyModel) -> None:
         """Configure the latency model between *a* and *b* (symmetric)."""

@@ -34,6 +34,11 @@ class EventScheduler:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._cancelled: set = set()
+        # Ids currently sitting in the queue (not fired, not cancelled).
+        # Guarding cancel() with it keeps `_cancelled` from accumulating
+        # ids that already fired — those would otherwise leak forever —
+        # and makes the live pending count O(1).
+        self._alive: set = set()
         self.events_executed = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
@@ -54,15 +59,28 @@ class EventScheduler:
         event_id = self._sequence
         self._sequence += 1
         heapq.heappush(self._queue, (timestamp, event_id, callback))
+        self._alive.add(event_id)
         return event_id
 
     def cancel(self, event_id: int) -> None:
-        """Mark a scheduled event as cancelled (lazy removal)."""
-        self._cancelled.add(event_id)
+        """Mark a scheduled event as cancelled (lazy heap removal).
+
+        Cancelling an id that already fired (or was already cancelled)
+        is a no-op — in particular it does not grow the tombstone set.
+        """
+        if event_id in self._alive:
+            self._alive.discard(event_id)
+            self._cancelled.add(event_id)
+
+    def __len__(self) -> int:
+        """Live pending events: scheduled, not fired, not cancelled."""
+        return len(self._alive)
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued (including cancelled ones not
+        yet lazily removed from the heap); ``len(scheduler)`` gives the
+        live count."""
         return len(self._queue)
 
     def peek_time(self) -> Optional[float]:
@@ -79,7 +97,8 @@ class EventScheduler:
         next_time = self.peek_time()
         if next_time is None:
             return False
-        timestamp, _, callback = heapq.heappop(self._queue)
+        timestamp, event_id, callback = heapq.heappop(self._queue)
+        self._alive.discard(event_id)
         self.clock.advance_to(timestamp)
         self.events_executed += 1
         callback()

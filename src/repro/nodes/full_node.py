@@ -48,8 +48,12 @@ from ..tangle.ledger import TokenLedger
 from ..tangle.tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle
 from ..telemetry.registry import SECONDS_BUCKETS, coerce_registry
 from ..tangle.tip_selection import TipSelector, UniformRandomTipSelector
-from ..tangle.transaction import Transaction, TransactionKind
-from ..tangle.validation import crypto_validator
+from ..tangle.transaction import (
+    Transaction,
+    TransactionDecodeCache,
+    TransactionKind,
+)
+from ..tangle.validation import VerificationCache, crypto_validator
 
 __all__ = ["FullNode", "FullNodeStats"]
 
@@ -112,6 +116,16 @@ class FullNode(NetworkNode):
             Weights stay exact at every read; the interval only trades
             flush frequency against per-attach cost on the gossip/sync
             ingest hot path.
+        verification_cache: optional
+            :class:`~repro.tangle.validation.VerificationCache`; on a
+            hit, signature+PoW re-verification of an already-verified
+            transaction is skipped.  Deployments share one cache across
+            their full nodes so each transaction is verified once, not
+            once per hop.
+        decode_cache: optional :class:`~repro.tangle.transaction.
+            TransactionDecodeCache`; gossip/sync/submit payload bytes
+            already decoded (by this node or a cache-sharing peer) are
+            served as the same immutable instance instead of re-parsed.
         telemetry: a :class:`~repro.telemetry.MetricsRegistry` shared
             across the deployment; threaded into this node's tangle,
             gossip relay and solidification accounting.  ``None`` keeps
@@ -127,6 +141,8 @@ class FullNode(NetworkNode):
                  quality_monitor=None,
                  retry_policy: Optional[BackoffPolicy] = None,
                  weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL,
+                 verification_cache: Optional[VerificationCache] = None,
+                 decode_cache: Optional[TransactionDecodeCache] = None,
                  telemetry=None):
         super().__init__(address)
         self.telemetry = coerce_registry(telemetry)
@@ -156,10 +172,14 @@ class FullNode(NetworkNode):
         # them, so making policy a replication-validity rule would let
         # knowledge races fork the replicas permanently.
         self.weight_flush_interval = weight_flush_interval
+        self.verification_cache = verification_cache
+        self.decode_cache = decode_cache
         self.tangle = Tangle(genesis, validators=[
-            crypto_validator(allow_simulated_pow=not enforce_pow),
+            crypto_validator(allow_simulated_pow=not enforce_pow,
+                             cache=verification_cache),
         ], weight_flush_interval=weight_flush_interval,
             telemetry=self.telemetry)
+        self.consensus.bind_tangle(self.tangle)
         self.relay = GossipRelay(telemetry=self.telemetry, node=address)
         self.relay.mark_seen(genesis.tx_hash)
         self.solidification: SolidificationBuffer = SolidificationBuffer()
@@ -237,11 +257,13 @@ class FullNode(NetworkNode):
         self.acl.import_state(snapshot.acl_state)
         self.ledger.import_state(snapshot.ledger_state)
         self.consensus.registry.import_state(snapshot.credit_state)
-        self.consensus.registry.set_weight_provider(self.tangle.weight)
+        # Re-bind: the provider, flush listener and refresh hook must all
+        # point at the freshly restored tangle, not the discarded one.
+        self.consensus.bind_tangle(self.tangle)
         self.credit_horizon = snapshot.created_at
-        self.relay.mark_seen(snapshot.tangle.genesis.tx_hash)
-        for tx, _ in snapshot.tangle.retained:
-            self.relay.mark_seen(tx.tx_hash)
+        self.relay.mark_seen_batch(
+            [snapshot.tangle.genesis.tx_hash]
+            + [tx.tx_hash for tx, _ in snapshot.tangle.retained])
 
     @classmethod
     def bootstrap_from_snapshot(cls, address: str, snapshot: "NodeSnapshot",
@@ -312,6 +334,13 @@ class FullNode(NetworkNode):
             return 0.0
         return self.network.scheduler.clock.now()
 
+    def _decode(self, data: bytes) -> Transaction:
+        """Decode wire bytes, through the shared decode LRU when one is
+        wired (the same bytes object reaches every node on a flood)."""
+        if self.decode_cache is not None:
+            return self.decode_cache.decode(data)
+        return Transaction.from_bytes(data)
+
     def _handle_get_tips(self, message: Message) -> None:
         body = message.body
         issuer_node_id = body["node_id"]
@@ -335,7 +364,7 @@ class FullNode(NetworkNode):
         })
 
     def _handle_submit(self, message: Message) -> None:
-        tx = Transaction.from_bytes(message.body["transaction"])
+        tx = self._decode(message.body["transaction"])
         ok, error = self._ingest(tx, source=None, admit=True)
         if ok:
             self.stats.submissions_accepted += 1
@@ -349,7 +378,7 @@ class FullNode(NetworkNode):
         })
 
     def _handle_gossip(self, message: Message) -> None:
-        tx = Transaction.from_bytes(message.body["transaction"])
+        tx = self._decode(message.body["transaction"])
         self._ingest(tx, source=message.sender, admit=False)
 
     # -- anti-entropy sync -------------------------------------------------
@@ -379,7 +408,7 @@ class FullNode(NetworkNode):
     def _handle_sync_response(self, message: Message) -> None:
         for encoded in message.body.get("transactions", ()):
             try:
-                tx = Transaction.from_bytes(encoded)
+                tx = self._decode(encoded)
             except ValueError:
                 continue  # a corrupt entry must not poison the batch
             ok, _ = self._ingest(tx, source=message.sender, admit=False)
@@ -456,7 +485,7 @@ class FullNode(NetworkNode):
                            attempt: int) -> Optional[str]:
         """The peer to ask: the gossip source first, then round-robin
         over the peer list so a dead source does not starve recovery."""
-        if source is not None and attempt == 1 and source in self.relay.peers:
+        if source is not None and attempt == 1 and self.relay.has_peer(source):
             return source
         if not self.relay.peers:
             return source
@@ -499,7 +528,7 @@ class FullNode(NetworkNode):
     def _handle_parent_response(self, message: Message) -> None:
         for encoded in message.body.get("transactions", ()):
             try:
-                tx = Transaction.from_bytes(encoded)
+                tx = self._decode(encoded)
             except ValueError:
                 continue
             self._ingest(tx, source=message.sender, admit=False)

@@ -180,6 +180,9 @@ class Tangle:
         self._version: int = 0
         self._depth_map: Dict[bytes, int] = {}
         self._depth_version: int = -1
+        # Flush observers: called with {tx_hash: new_weight} for every
+        # transaction whose cumulative weight changed in a flush epoch.
+        self._weight_listeners: List[Callable[[Dict[bytes, int]], object]] = []
 
         self.telemetry = coerce_registry(telemetry)
         self._m_attach = self.telemetry.counter(
@@ -355,11 +358,20 @@ class Tangle:
 
         This is the paper's per-transaction *weight* metric ``w_k``.
         Always exact: pending batched contributions are flushed before
-        the read.
+        the read — except for transactions with no approvers, whose
+        stored weight (1) is already exact: increments only ever flow
+        up from descendants, so a childless transaction can never have
+        a pending contribution aimed at it.  That fast path lets
+        record-time weight reads on freshly attached transactions (the
+        credit registry's common case) skip the flush entirely,
+        preserving the attach path's O(1) batching.
         """
         self._m_weight_reads.inc()
         if not self._track_weight:
             return self._compute_cumulative_weight(tx_hash)
+        approvers = self._approvers.get(tx_hash)
+        if approvers is not None and not approvers:
+            return self._cumulative_weight[tx_hash]
         if self._pending_weight:
             self.flush_weights()
         return self._cumulative_weight[tx_hash]
@@ -369,6 +381,20 @@ class Tangle:
         """Attached transactions whose weight contribution has not been
         propagated yet (observability for tests and benchmarks)."""
         return len(self._pending_weight)
+
+    def add_weight_listener(
+            self, listener: Callable[[Dict[bytes, int]], object]) -> None:
+        """Subscribe to weight changes: *listener* is called at the end
+        of every flush epoch with ``{tx_hash: new_weight}`` for each
+        transaction whose cumulative weight changed.
+
+        This is the push half of the credit registry's weight cache
+        (:meth:`~repro.core.credit.CreditRegistry.refresh_weight_values`):
+        instead of re-reading every recorded weight through the provider
+        per evaluation, the registry records weights once and receives
+        the deltas as they land.
+        """
+        self._weight_listeners.append(listener)
 
     def flush_weights(self) -> int:
         """Propagate all dirty weight contributions; returns how many
@@ -390,9 +416,16 @@ class Tangle:
         self._m_flush.inc()
         self._m_flush_batch.observe(len(pending))
         weights = self._cumulative_weight
+        listeners = self._weight_listeners
+        changed: Optional[Dict[bytes, int]] = {} if listeners else None
         if len(pending) == 1:
             for ancestor in self.ancestors(pending[0]):
                 weights[ancestor] += 1
+                if changed is not None:
+                    changed[ancestor] = weights[ancestor]
+            if changed:
+                for listener in listeners:
+                    listener(changed)
             return 1
         bit_of = {h: 1 << i for i, h in enumerate(pending)}
         # Affected region: the union of ancestor cones (shared ancestors
@@ -414,12 +447,17 @@ class Tangle:
             mask = incoming.pop(tx_hash, 0)
             if mask:
                 weights[tx_hash] += mask.bit_count()
+                if changed is not None:
+                    changed[tx_hash] = weights[tx_hash]
             mask |= bit_of.get(tx_hash, 0)
             if not mask:
                 continue
             for parent in set(self.parents(tx_hash)):
                 if parent in affected:
                     incoming[parent] = incoming.get(parent, 0) | mask
+        if changed:
+            for listener in listeners:
+                listener(changed)
         return len(pending)
 
     def is_confirmed(self, tx_hash: bytes, threshold: int) -> bool:

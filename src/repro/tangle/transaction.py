@@ -19,6 +19,7 @@ body → PoW challenge → nonce → transaction hash → signature.
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -30,7 +31,9 @@ __all__ = [
     "ZERO_HASH",
     "TransactionKind",
     "Transaction",
+    "TransactionDecodeCache",
     "GENESIS_KIND",
+    "DEFAULT_DECODE_CACHE_SIZE",
 ]
 
 ZERO_HASH = b"\x00" * DIGEST_SIZE
@@ -73,12 +76,25 @@ class Transaction:
             raise ValueError("nonce out of 64-bit range")
 
     # -- digests ---------------------------------------------------------
+    #
+    # The instance is immutable, so every derived value is computed at
+    # most once and memoized into the instance dict (``object.__setattr__``
+    # sidesteps the frozen-dataclass guard).  tx_hash/to_bytes sit on the
+    # per-hop gossip path: without the memo every relay re-hashes and
+    # re-encodes the same transaction at every node it crosses.
+
+    def _memo(self, slot: str, value):
+        object.__setattr__(self, slot, value)
+        return value
 
     @property
     def body_digest(self) -> bytes:
         """Digest of everything the PoW and signature must commit to,
         except the nonce itself."""
-        return hash_concat(
+        cached = self.__dict__.get("_body_digest")
+        if cached is not None:
+            return cached
+        return self._memo("_body_digest", hash_concat(
             self.kind.encode(),
             self.issuer.to_bytes(),
             self.payload,
@@ -86,17 +102,25 @@ class Transaction:
             self.branch,
             self.trunk,
             struct.pack(">H", self.difficulty),
-        )
+        ))
 
     @property
     def pow_challenge(self) -> bytes:
         """The Eqn. 6 challenge: both parents plus the body digest."""
-        return hashcash.pow_challenge(self.branch, self.trunk, self.body_digest)
+        cached = self.__dict__.get("_pow_challenge")
+        if cached is not None:
+            return cached
+        return self._memo("_pow_challenge", hashcash.pow_challenge(
+            self.branch, self.trunk, self.body_digest))
 
     @property
     def tx_hash(self) -> bytes:
         """The DAG vertex identifier: body digest bound to the nonce."""
-        return hash_concat(self.body_digest, self.nonce.to_bytes(8, "big"))
+        cached = self.__dict__.get("_tx_hash")
+        if cached is not None:
+            return cached
+        return self._memo("_tx_hash", hash_concat(
+            self.body_digest, self.nonce.to_bytes(8, "big")))
 
     @property
     def short_hash(self) -> str:
@@ -189,7 +213,14 @@ class Transaction:
     # -- serialisation ---------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Length-prefixed binary encoding (round-trips exactly)."""
+        """Length-prefixed binary encoding (round-trips exactly).
+
+        Memoized: gossip re-encodes the identical immutable transaction
+        on every relay hop, so the bytes are built once and shared.
+        """
+        cached = self.__dict__.get("_encoded")
+        if cached is not None:
+            return cached
         kind_bytes = self.kind.encode()
         parts = [
             struct.pack(">H", len(kind_bytes)), kind_bytes,
@@ -202,7 +233,7 @@ class Transaction:
             struct.pack(">Q", self.nonce),
             struct.pack(">H", len(self.signature)), self.signature,
         ]
-        return b"".join(parts)
+        return self._memo("_encoded", b"".join(parts))
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Transaction":
@@ -238,7 +269,7 @@ class Transaction:
                 raise ValueError("truncated or oversized encoding")
         except (struct.error, UnicodeDecodeError) as exc:
             raise ValueError(f"malformed transaction encoding: {exc}") from exc
-        return cls(
+        tx = cls(
             kind=kind,
             issuer=issuer,
             payload=payload,
@@ -249,9 +280,75 @@ class Transaction:
             nonce=nonce,
             signature=signature,
         )
+        # The exact encoding is in hand: seed the to_bytes() memo so a
+        # decoded transaction never pays to re-encode for the next hop.
+        tx._memo("_encoded", bytes(data))
+        return tx
 
     def __repr__(self) -> str:
         return (
             f"Transaction({self.kind!r}, {self.short_hash}, "
             f"issuer={self.issuer.short_id}, t={self.timestamp:.3f})"
         )
+
+
+DEFAULT_DECODE_CACHE_SIZE = 65536
+"""Default :class:`TransactionDecodeCache` capacity (entries)."""
+
+
+class TransactionDecodeCache:
+    """Bounded LRU mapping encoded bytes to a shared decoded instance.
+
+    In a simulated deployment the *same* bytes object crosses every
+    wire, so gossip delivers one transaction to dozens of nodes that
+    each call :meth:`Transaction.from_bytes` on identical input.  The
+    cache parses once and hands every later hop the same immutable
+    ``Transaction`` — which also means the hash/encoding memos on that
+    instance are shared, compounding the saving.
+
+    A junk input raises ``ValueError`` exactly like ``from_bytes`` and
+    is never cached.
+
+    Args:
+        max_size: LRU capacity (evicts least-recently decoded).
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
+            ``repro_cache_decode_*`` hit/miss counters.
+    """
+
+    def __init__(self, max_size: int = DEFAULT_DECODE_CACHE_SIZE, *,
+                 telemetry=None):
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        # Imported here, not at module top: repro.telemetry is a heavier
+        # import than this leaf module's other dependencies.
+        from ..telemetry.registry import coerce_registry
+
+        self.max_size = max_size
+        self._decoded: "OrderedDict[bytes, Transaction]" = OrderedDict()
+        self.evictions = 0
+        telemetry = coerce_registry(telemetry)
+        self._m_hit = telemetry.counter(
+            "repro_cache_decode_hits_total",
+            "Transaction decodes served from the shared decode LRU")
+        self._m_miss = telemetry.counter(
+            "repro_cache_decode_misses_total",
+            "Transaction decodes that actually parsed bytes")
+
+    def __len__(self) -> int:
+        return len(self._decoded)
+
+    def decode(self, data: bytes) -> Transaction:
+        """:meth:`Transaction.from_bytes`, memoized on the exact bytes."""
+        decoded = self._decoded
+        tx = decoded.get(data)
+        if tx is not None:
+            decoded.move_to_end(data)
+            self._m_hit.inc()
+            return tx
+        self._m_miss.inc()
+        tx = Transaction.from_bytes(data)
+        decoded[data] = tx
+        if len(decoded) > self.max_size:
+            decoded.popitem(last=False)
+            self.evictions += 1
+        return tx

@@ -5,6 +5,11 @@ duplicates).  Everything else composes in as validators:
 
 * :func:`crypto_validator` — PoW and signature verification plus a
   minimum-difficulty floor (what every full node runs);
+* :class:`VerificationCache` — a bounded LRU remembering which
+  transaction hashes already passed signature+PoW verification, so a
+  full node (or a deployment of full nodes sharing one cache) pays the
+  Ed25519 verify and the PoW hash exactly once per transaction instead
+  of once per hop/duplicate;
 * :func:`timestamp_validator` — reject far-future timestamps;
 * :func:`detect_lazy_approval` — classify an attach as lazy-tips
   misbehaviour, the detector feeding the credit mechanism's αl penalty.
@@ -12,6 +17,10 @@ duplicates).  Everything else composes in as validators:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Optional
+
+from ..telemetry.registry import coerce_registry
 from .errors import (
     InvalidPowError,
     InvalidSignatureError,
@@ -25,16 +34,87 @@ __all__ = [
     "crypto_validator",
     "timestamp_validator",
     "detect_lazy_approval",
+    "VerificationCache",
     "DEFAULT_MAX_PARENT_AGE",
+    "DEFAULT_VERIFY_CACHE_SIZE",
 ]
 
 DEFAULT_MAX_PARENT_AGE = 30.0
 """Parents older than this (seconds) mark an approval as lazy.  Matches
 the paper's ΔT=30 s activity window."""
 
+DEFAULT_VERIFY_CACHE_SIZE = 65536
+"""Default capacity of a :class:`VerificationCache`: 64k 32-byte hashes
+(~4 MiB with LRU bookkeeping) comfortably covers the in-flight window of
+a multi-hundred-node deployment."""
+
+
+class VerificationCache:
+    """Bounded LRU of transaction hashes that passed sig+PoW checks.
+
+    Only the *positive* outcome is cached: verification of an immutable
+    transaction is deterministic (the hash commits to body, nonce and
+    issuer), so a hash that verified once verifies always.  Failures are
+    never cached — they raise and the transaction is dropped, so there
+    is no repeat cost to save, and caching them would let one hash
+    collision poison rejection.
+
+    The cache is safe to share across the full nodes of one simulated
+    deployment — that is the intended topology (see
+    :meth:`~repro.core.biot.BIoTSystem.build`): the first node to verify
+    a gossiped transaction pays, every later hop hits.
+
+    Args:
+        max_size: LRU capacity (evicts least-recently confirmed).
+        telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
+            ``repro_cache_verify_*`` hit/miss counters.
+    """
+
+    def __init__(self, max_size: int = DEFAULT_VERIFY_CACHE_SIZE, *,
+                 telemetry=None):
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.max_size = max_size
+        self._verified: "OrderedDict[bytes, None]" = OrderedDict()
+        self.evictions = 0
+        telemetry = coerce_registry(telemetry)
+        self._m_hit = telemetry.counter(
+            "repro_cache_verify_hits_total",
+            "Signature+PoW verifications skipped via the verified-set LRU")
+        self._m_miss = telemetry.counter(
+            "repro_cache_verify_misses_total",
+            "Signature+PoW verifications actually performed")
+
+    def __len__(self) -> int:
+        return len(self._verified)
+
+    def __contains__(self, tx_hash: bytes) -> bool:
+        return tx_hash in self._verified
+
+    def check(self, tx_hash: bytes) -> bool:
+        """True when *tx_hash* already verified (refreshes its LRU slot
+        and counts a hit); False counts a miss."""
+        verified = self._verified
+        if tx_hash in verified:
+            verified.move_to_end(tx_hash)
+            self._m_hit.inc()
+            return True
+        self._m_miss.inc()
+        return False
+
+    def confirm(self, tx_hash: bytes) -> None:
+        """Record that *tx_hash* passed signature+PoW verification."""
+        verified = self._verified
+        verified[tx_hash] = None
+        verified.move_to_end(tx_hash)
+        if len(verified) > self.max_size:
+            verified.popitem(last=False)
+            self.evictions += 1
+
 
 def crypto_validator(*, min_difficulty: int = 1,
-                     allow_simulated_pow: bool = False) -> Validator:
+                     allow_simulated_pow: bool = False,
+                     cache: Optional[VerificationCache] = None) -> Validator:
     """Build a validator enforcing PoW and signature correctness.
 
     Args:
@@ -43,6 +123,11 @@ def crypto_validator(*, min_difficulty: int = 1,
         allow_simulated_pow: pure-simulation experiments sample attempt
             counts instead of grinding nonces, so their nonces do not
             verify; set True only inside such experiments.
+        cache: optional :class:`VerificationCache`; on a hit the
+            expensive sig+PoW work is skipped.  The difficulty floor and
+            the self-approval check still run per call — they are O(1)
+            comparisons and the floor is validator-local policy, not a
+            property of the transaction.
     """
 
     def validate(tangle: Tangle, tx: Transaction) -> None:
@@ -51,12 +136,16 @@ def crypto_validator(*, min_difficulty: int = 1,
                 f"{tx.short_hash} declares difficulty {tx.difficulty} "
                 f"below the floor {min_difficulty}"
             )
-        if not allow_simulated_pow and not tx.verify_pow():
-            raise InvalidPowError(f"{tx.short_hash} nonce fails difficulty "
-                                  f"{tx.difficulty}")
-        if not tx.verify_signature():
-            raise InvalidSignatureError(f"{tx.short_hash} signature invalid")
-        if tx.branch == tx.tx_hash or tx.trunk == tx.tx_hash:
+        tx_hash = tx.tx_hash
+        if cache is None or not cache.check(tx_hash):
+            if not allow_simulated_pow and not tx.verify_pow():
+                raise InvalidPowError(f"{tx.short_hash} nonce fails difficulty "
+                                      f"{tx.difficulty}")
+            if not tx.verify_signature():
+                raise InvalidSignatureError(f"{tx.short_hash} signature invalid")
+            if cache is not None:
+                cache.confirm(tx_hash)
+        if tx.branch == tx_hash or tx.trunk == tx_hash:
             raise SelfApprovalError(f"{tx.short_hash} approves itself")
 
     return validate

@@ -1,0 +1,111 @@
+"""Deliberately naive reference credit registry for differential tests.
+
+Every evaluation recomputes Eqn. 3/4 from scratch over the full
+recorded history — no windows, no cached weights, no incremental
+anything.  Each method is a direct transcription of the paper's
+definition, which makes this implementation trivially auditable and
+therefore a trustworthy oracle for the optimized
+:class:`repro.core.credit.CreditRegistry`: the differential tests drive
+both through identical schedules and assert the answers never diverge.
+
+Summation order matters for float equality: records are summed in
+canonical ``(timestamp, insertion sequence)`` order — exactly the order
+the optimized registry keeps its per-node record lists in.  (With the
+system's integer weights capped at ``max_transaction_weight`` every
+partial sum is exact anyway, so the order is belt and braces.)
+
+Keep this file boring.  Its only job is to be obviously correct.
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.credit import CreditParameters
+
+
+class ReferenceCreditRegistry:
+    """O(history)-per-evaluation transcription of Eqns. 2–5."""
+
+    def __init__(self, params: Optional[CreditParameters] = None, *,
+                 weight_provider: Optional[Callable[[bytes], int]] = None):
+        self.params = params if params is not None else CreditParameters()
+        self._weight_provider = weight_provider
+        # node id -> list of (timestamp, tx_hash, seq), any order
+        self._transactions: Dict[bytes, List[Tuple[float, bytes, int]]] = {}
+        # node id -> list of (timestamp, behaviour)
+        self._malicious: Dict[bytes, List[Tuple[float, str]]] = {}
+        self._weight_overrides: Dict[bytes, float] = {}
+        self._seq = 0
+
+    def set_weight_provider(self,
+                            weight_provider: Callable[[bytes], int]) -> None:
+        self._weight_provider = weight_provider
+
+    # -- recording -------------------------------------------------------
+
+    def record_transaction(self, node_id: bytes, tx_hash: bytes,
+                           timestamp: float) -> None:
+        self._transactions.setdefault(node_id, []).append(
+            (timestamp, tx_hash, self._seq))
+        self._seq += 1
+
+    def record_malicious(self, node_id: bytes, behaviour: str,
+                         timestamp: float) -> None:
+        self._malicious.setdefault(node_id, []).append((timestamp, behaviour))
+
+    # -- from-scratch evaluation -----------------------------------------
+
+    def _transaction_weight(self, tx_hash: bytes) -> float:
+        if self._weight_provider is None:
+            weight = self._weight_overrides.get(tx_hash, 1.0)
+            return min(weight, self.params.max_transaction_weight)
+        try:
+            weight = float(self._weight_provider(tx_hash))
+        except KeyError:
+            weight = self._weight_overrides.get(tx_hash, 1.0)
+        return min(weight, self.params.max_transaction_weight)
+
+    def positive_credit(self, node_id: bytes, now: float) -> float:
+        """Eqn. 3, recomputed from scratch: sum the weights of every
+        record in ``[now - ΔT, now]``, in canonical (ts, seq) order."""
+        window_start = now - self.params.delta_t
+        in_window = sorted(
+            (entry for entry in self._transactions.get(node_id, [])
+             if window_start <= entry[0] <= now),
+            key=lambda entry: (entry[0], entry[2]),
+        )
+        total = 0.0
+        for _, tx_hash, _ in in_window:
+            total += self._transaction_weight(tx_hash)
+        return total / self.params.delta_t
+
+    def negative_credit(self, node_id: bytes, now: float) -> float:
+        """Eqn. 4, recomputed from scratch."""
+        penalty = 0.0
+        for timestamp, behaviour in self._malicious.get(node_id, []):
+            if timestamp > now:
+                continue
+            elapsed = max(now - timestamp, self.params.min_elapsed)
+            penalty += (
+                self.params.punishment_coefficient(behaviour)
+                * self.params.delta_t / elapsed
+            )
+        return -penalty
+
+    def credit(self, node_id: bytes, now: float) -> float:
+        """Eqn. 2."""
+        return (
+            self.params.lambda1 * self.positive_credit(node_id, now)
+            + self.params.lambda2 * self.negative_credit(node_id, now)
+        )
+
+    # -- pruning ---------------------------------------------------------
+
+    def forget_before(self, node_id: bytes, cutoff: float) -> int:
+        """Drop transaction records with ``timestamp < cutoff``; keep
+        malicious records forever (Eqn. 4 never forgets)."""
+        entries = self._transactions.get(node_id, [])
+        kept = [entry for entry in entries if entry[0] >= cutoff]
+        dropped = len(entries) - len(kept)
+        if dropped:
+            self._transactions[node_id] = kept
+        return dropped

@@ -1,0 +1,328 @@
+"""Differential tests: incremental credit vs the naive Eqn. 3/4 oracle.
+
+The optimized :class:`~repro.core.credit.CreditRegistry` keeps rolling
+window aggregates and record-time weight caches; the
+:class:`tests.core.credit_reference.ReferenceCreditRegistry` recomputes
+everything from scratch.  These tests drive both through identical
+schedules — records, malice, evaluations at monotone and non-monotone
+``now``, ``forget_before`` pruning, weight-provider growth pushed via
+``refresh_weight_values``, export/import round-trips, and a real tangle
+with batched weight flushes — and require *exact* float equality.
+
+Exactness holds because every weight in play is a multiple of 0.25
+clamped to ``max_transaction_weight`` (the system's weights are small
+capped integers), so all partial sums are exact in binary floating
+point, and both implementations sum window records in the same
+canonical (timestamp, insertion sequence) order.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consensus import CreditBasedConsensus
+from repro.core.credit import CreditParameters, CreditRegistry, MaliciousBehaviour
+from repro.crypto.keys import KeyPair
+from repro.tangle.tangle import Tangle
+from repro.tangle.transaction import Transaction
+
+from .credit_reference import ReferenceCreditRegistry
+
+BEHAVIOURS = [
+    MaliciousBehaviour.LAZY_TIPS,
+    MaliciousBehaviour.DOUBLE_SPENDING,
+    MaliciousBehaviour.BAD_DATA,
+]
+
+
+class GrowingWeights:
+    """A dict-backed weight provider whose values grow over time —
+    a stand-in for the tangle's cumulative weights."""
+
+    def __init__(self):
+        self.weights = {}
+
+    def provider(self, tx_hash: bytes) -> float:
+        return self.weights[tx_hash]  # KeyError for unknown: intended
+
+    def set(self, tx_hash: bytes, weight: float) -> None:
+        self.weights[tx_hash] = weight
+
+
+def assert_equal_evaluations(optimized, reference, node_ids, now):
+    for node_id in node_ids:
+        assert optimized.positive_credit(node_id, now) == \
+            reference.positive_credit(node_id, now), (node_id.hex(), now)
+        assert optimized.negative_credit(node_id, now) == \
+            reference.negative_credit(node_id, now), (node_id.hex(), now)
+        assert optimized.credit(node_id, now) == \
+            reference.credit(node_id, now), (node_id.hex(), now)
+
+
+class TestSeededScheduleDifferential:
+    """Long seeded random schedules over every registry operation."""
+
+    def _run_schedule(self, seed: int, steps: int = 400) -> None:
+        rng = random.Random(seed)
+        weights = GrowingWeights()
+        params = CreditParameters()
+        optimized = CreditRegistry(params, weight_provider=weights.provider)
+        reference = ReferenceCreditRegistry(
+            params, weight_provider=weights.provider)
+
+        node_ids = [bytes([i]) * 32 for i in range(4)]
+        hashes = []
+        clock = 0.0
+
+        for _ in range(steps):
+            op = rng.random()
+            if op < 0.45:
+                # Record a transaction; 20% of timestamps are in the past
+                # (out-of-order arrival), and hashes are sometimes reused
+                # (the same transaction recorded again / by another node).
+                node_id = rng.choice(node_ids)
+                clock += rng.choice([0.0, 0.25, 0.5, 1.0, 3.0])
+                if hashes and rng.random() < 0.15:
+                    tx_hash = rng.choice(hashes)
+                else:
+                    tx_hash = rng.randrange(2 ** 128).to_bytes(32, "big")
+                    hashes.append(tx_hash)
+                    weights.set(tx_hash, rng.randrange(1, 5))
+                timestamp = clock
+                if rng.random() < 0.2:
+                    timestamp = max(0.0, clock - rng.choice([0.25, 1.0, 7.5, 40.0]))
+                optimized.record_transaction(node_id, tx_hash, timestamp)
+                reference.record_transaction(node_id, tx_hash, timestamp)
+            elif op < 0.55:
+                node_id = rng.choice(node_ids)
+                behaviour = rng.choice(BEHAVIOURS)
+                optimized.record_malicious(node_id, behaviour, clock)
+                reference.record_malicious(node_id, behaviour, clock)
+            elif op < 0.65 and hashes:
+                # Cumulative weight growth, pushed into the optimized
+                # registry the way the tangle flush listener does; the
+                # reference reads the provider fresh every evaluation.
+                updates = {}
+                for tx_hash in rng.sample(hashes, min(len(hashes), 3)):
+                    grown = weights.weights[tx_hash] + rng.choice([0.25, 1, 2])
+                    weights.set(tx_hash, grown)
+                    updates[tx_hash] = grown
+                optimized.refresh_weight_values(updates)
+            elif op < 0.72 and hashes and rng.random() < 0.5:
+                # Single-hash refresh through the provider.
+                tx_hash = rng.choice(hashes)
+                weights.set(tx_hash, weights.weights[tx_hash] + 1)
+                optimized.refresh_weight(tx_hash)
+            elif op < 0.82:
+                # forget_before, sometimes mid-window.
+                node_id = rng.choice(node_ids)
+                cutoff = clock - rng.choice([0.0, 5.0, 15.0, 30.0, 60.0])
+                dropped_fast = optimized.forget_before(node_id, cutoff)
+                dropped_ref = reference.forget_before(node_id, cutoff)
+                assert dropped_fast == dropped_ref
+            else:
+                # Evaluate: 70% at the monotone frontier, 30% in the past
+                # (the consensus validator evaluates at tx.timestamp).
+                now = clock
+                if rng.random() < 0.3:
+                    now = max(0.0, clock - rng.choice([0.25, 2.0, 10.0, 29.75,
+                                                       30.0, 45.0]))
+                assert_equal_evaluations(optimized, reference, node_ids, now)
+
+        assert_equal_evaluations(optimized, reference, node_ids, clock)
+        assert_equal_evaluations(optimized, reference, node_ids, clock + 30.0)
+        assert_equal_evaluations(optimized, reference, node_ids, 0.0)
+
+    def test_schedule_seed_0(self):
+        self._run_schedule(0)
+
+    def test_schedule_seed_1(self):
+        self._run_schedule(1)
+
+    def test_schedule_seed_2(self):
+        self._run_schedule(2)
+
+    def test_export_import_matches_reference(self):
+        """A round-tripped optimized registry still matches the oracle
+        for every post-cutoff evaluation."""
+        rng = random.Random(99)
+        weights = GrowingWeights()
+        params = CreditParameters()
+        optimized = CreditRegistry(params, weight_provider=weights.provider)
+        reference = ReferenceCreditRegistry(
+            params, weight_provider=weights.provider)
+        node_ids = [bytes([i]) * 32 for i in range(3)]
+        clock = 0.0
+        for _ in range(200):
+            clock += rng.choice([0.25, 0.5, 2.0])
+            node_id = rng.choice(node_ids)
+            tx_hash = rng.randrange(2 ** 128).to_bytes(32, "big")
+            weights.set(tx_hash, rng.randrange(1, 5))
+            optimized.record_transaction(node_id, tx_hash, clock)
+            reference.record_transaction(node_id, tx_hash, clock)
+            if rng.random() < 0.1:
+                optimized.record_malicious(
+                    node_id, MaliciousBehaviour.LAZY_TIPS, clock)
+                reference.record_malicious(
+                    node_id, MaliciousBehaviour.LAZY_TIPS, clock)
+
+        state = optimized.export_state(now=clock)
+        restored = CreditRegistry(params, weight_provider=weights.provider)
+        restored.import_state(state)
+        # Post-import evaluations inside the surviving window match the
+        # oracle exactly (pre-cutoff records were legitimately pruned).
+        assert_equal_evaluations(restored, reference, node_ids, clock)
+        assert_equal_evaluations(restored, reference, node_ids, clock + 7.5)
+        # And the round trip preserves the optimized registry's own view.
+        for node_id in node_ids:
+            assert restored.credit(node_id, clock) == \
+                optimized.credit(node_id, clock)
+            assert restored.malicious_count(node_id) == \
+                optimized.malicious_count(node_id)
+
+
+class TestTangleBackedDifferential:
+    """The real wiring: a tangle with batched lazy weight flushes feeds
+    the optimized registry via listener + refresh hook, while the
+    oracle reads ``tangle.weight`` from scratch at evaluation time."""
+
+    def test_matches_oracle_under_batched_flushes(self):
+        rng = random.Random(7)
+        keys = KeyPair.generate(seed=b"credit-diff")
+        genesis = Transaction.create_genesis(keys)
+        # A tiny flush interval forces many listener pushes; weights
+        # stay exact at every read regardless.
+        tangle = Tangle(genesis, weight_flush_interval=5)
+        params = CreditParameters()
+        optimized = CreditRegistry(params)
+        consensus = CreditBasedConsensus(optimized)
+        consensus.bind_tangle(tangle)
+        reference = ReferenceCreditRegistry(
+            params, weight_provider=tangle.weight)
+
+        node_ids = [bytes([i + 1]) * 32 for i in range(3)]
+        hashes = [genesis.tx_hash]
+        clock = 0.0
+        for i in range(80):
+            clock += rng.choice([0.25, 0.5, 1.0])
+            branch = rng.choice(hashes[-8:])
+            trunk = rng.choice(hashes[-8:])
+            tx = Transaction.create(
+                keys, kind="data", payload=str(i).encode(),
+                timestamp=clock, branch=branch, trunk=trunk, difficulty=1)
+            tangle.attach(tx, arrival_time=clock)
+            hashes.append(tx.tx_hash)
+            node_id = rng.choice(node_ids)
+            optimized.record_transaction(node_id, tx.tx_hash, clock)
+            reference.record_transaction(node_id, tx.tx_hash, clock)
+            if rng.random() < 0.3:
+                now = clock if rng.random() < 0.7 else max(0.0, clock - 10.0)
+                assert_equal_evaluations(
+                    optimized, reference, node_ids, now)
+
+        assert_equal_evaluations(optimized, reference, node_ids, clock)
+        # Attach one more burst without evaluating, then evaluate: the
+        # refresh hook must flush the pending batch first.
+        for i in range(7):
+            tx = Transaction.create(
+                keys, kind="data", payload=f"burst{i}".encode(),
+                timestamp=clock, branch=hashes[-1], trunk=hashes[-2],
+                difficulty=1)
+            tangle.attach(tx, arrival_time=clock)
+            hashes.append(tx.tx_hash)
+            optimized.record_transaction(node_ids[0], tx.tx_hash, clock)
+            reference.record_transaction(node_ids[0], tx.tx_hash, clock)
+        assert tangle.pending_weight_count > 0
+        assert_equal_evaluations(optimized, reference, node_ids, clock)
+
+
+# -- hypothesis property: random record/evaluate/forget schedules --------
+
+operation = st.one_of(
+    st.tuples(st.just("record"),
+              st.integers(min_value=0, max_value=2),      # node
+              st.integers(min_value=0, max_value=15),     # hash id
+              st.integers(min_value=0, max_value=240)),   # ts quarters
+    st.tuples(st.just("malice"),
+              st.integers(min_value=0, max_value=2),
+              st.sampled_from(BEHAVIOURS),
+              st.integers(min_value=0, max_value=240)),
+    st.tuples(st.just("grow"),
+              st.integers(min_value=0, max_value=15),     # hash id
+              st.integers(min_value=1, max_value=8),      # delta quarters
+              st.just(0)),
+    st.tuples(st.just("forget"),
+              st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=240),    # cutoff quarters
+              st.just(0)),
+    st.tuples(st.just("evaluate"),
+              st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=260),    # now quarters
+              st.just(0)),
+)
+
+
+class TestPropertySchedules:
+    @given(ops=st.lists(operation, min_size=1, max_size=60))
+    @settings(max_examples=120, deadline=None)
+    def test_any_schedule_matches_oracle_exactly(self, ops):
+        """Bit-exact equality over arbitrary interleavings of record
+        (including out-of-order timestamps), malice, weight growth,
+        forget_before and evaluation (including non-monotone now).
+
+        All timestamps and weights live on a 0.25 grid, so float sums
+        are exact and `==` is the right assertion.
+        """
+        weights = GrowingWeights()
+        params = CreditParameters()
+        optimized = CreditRegistry(params, weight_provider=weights.provider)
+        reference = ReferenceCreditRegistry(
+            params, weight_provider=weights.provider)
+        node_ids = [bytes([i + 1]) * 32 for i in range(3)]
+
+        def tx_hash_for(hash_id: int) -> bytes:
+            tx_hash = bytes([hash_id + 1]) * 32
+            if tx_hash not in weights.weights:
+                weights.set(tx_hash, 1.0 + 0.25 * (hash_id % 6))
+            return tx_hash
+
+        for op in ops:
+            kind = op[0]
+            if kind == "record":
+                _, node, hash_id, quarters = op
+                tx_hash = tx_hash_for(hash_id)
+                timestamp = quarters * 0.25
+                optimized.record_transaction(
+                    node_ids[node], tx_hash, timestamp)
+                reference.record_transaction(
+                    node_ids[node], tx_hash, timestamp)
+            elif kind == "malice":
+                _, node, behaviour, quarters = op
+                optimized.record_malicious(
+                    node_ids[node], behaviour, quarters * 0.25)
+                reference.record_malicious(
+                    node_ids[node], behaviour, quarters * 0.25)
+            elif kind == "grow":
+                _, hash_id, delta, _ = op
+                tx_hash = tx_hash_for(hash_id)
+                weights.set(tx_hash,
+                            weights.weights[tx_hash] + delta * 0.25)
+                optimized.refresh_weight_values(
+                    {tx_hash: weights.weights[tx_hash]})
+            elif kind == "forget":
+                _, node, quarters, _ = op
+                assert optimized.forget_before(
+                    node_ids[node], quarters * 0.25) == \
+                    reference.forget_before(node_ids[node], quarters * 0.25)
+            else:
+                _, node, quarters, _ = op
+                now = quarters * 0.25
+                assert optimized.positive_credit(node_ids[node], now) == \
+                    reference.positive_credit(node_ids[node], now)
+                assert optimized.credit(node_ids[node], now) == \
+                    reference.credit(node_ids[node], now)
+
+        for node_id in node_ids:
+            for now in (0.0, 15.0, 30.0, 60.25, 65.0):
+                assert optimized.credit(node_id, now) == \
+                    reference.credit(node_id, now)

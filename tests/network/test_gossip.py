@@ -43,6 +43,39 @@ class TestGossipRelay:
         relay.mark_seen(b"1")
         assert relay.seen_count == 2
 
+    def test_has_peer(self):
+        relay = GossipRelay(peers=["a", "b"])
+        assert relay.has_peer("a")
+        assert not relay.has_peer("ghost")
+        relay.remove_peer("a")
+        assert not relay.has_peer("a")
+
+    def test_mark_seen_batch(self):
+        relay = GossipRelay()
+        relay.mark_seen(b"1")
+        assert relay.mark_seen_batch([b"1", b"2", b"3", b"2"]) == 2
+        assert relay.seen_count == 3
+        assert relay.duplicates_suppressed == 2  # b"1" and second b"2"
+
+    def test_mark_seen_batch_all_duplicates(self):
+        relay = GossipRelay()
+        relay.mark_seen_batch([b"1", b"2"])
+        assert relay.mark_seen_batch([b"1", b"2"]) == 0
+        assert relay.duplicates_suppressed == 2
+
+    def test_mark_seen_batch_empty(self):
+        relay = GossipRelay()
+        assert relay.mark_seen_batch([]) == 0
+        assert relay.duplicates_suppressed == 0
+
+    def test_batch_and_single_interleave(self):
+        relay = GossipRelay()
+        relay.mark_seen_batch([b"1"])
+        assert not relay.mark_seen(b"1")
+        relay.mark_seen(b"2")
+        assert relay.mark_seen_batch([b"2", b"3"]) == 1
+        assert relay.seen_count == 3
+
 
 class TestSolidificationBuffer:
     def test_park_and_satisfy(self):
@@ -94,6 +127,61 @@ class TestSolidificationBuffer:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
             SolidificationBuffer(capacity=0)
+
+    def test_eviction_order_survives_satisfy_and_repark(self):
+        # Regression for the OrderedDict-backed queue: eviction must
+        # still walk strict park order, with a satisfied-then-reparked
+        # id treated as new (back of the queue), and an idempotent
+        # double park keeping its original slot.
+        buffer = SolidificationBuffer(capacity=3)
+        buffer.park(b"a", "A", [b"p"])
+        buffer.park(b"b", "B", [b"q"])
+        buffer.park(b"c", "C", [b"p"])
+        buffer.park(b"b", "B", [b"q"])  # idempotent: keeps slot 2
+        assert buffer.satisfy(b"q") == [(b"b", "B")]
+        buffer.park(b"b", "B", [b"q"])  # reparked: now newest
+        buffer.park(b"d", "D", [b"p"])  # over capacity: evicts a
+        assert buffer.evictions == 1
+        assert b"a" not in buffer
+        buffer.park(b"e", "E", [b"p"])  # evicts c (b was reparked later)
+        assert buffer.evictions == 2
+        assert b"c" not in buffer
+        assert b"b" in buffer
+
+    def test_eviction_order_matches_list_reference(self):
+        # Byte-identical eviction order versus a naive list-backed
+        # simulation of the pre-OrderedDict implementation.
+        import random
+
+        rng = random.Random(0xB107)
+        buffer = SolidificationBuffer(capacity=8)
+        reference_order = []  # the old _insertion_order list
+        evicted = []
+        original_evict = buffer._evict_oldest
+
+        def traced_evict():
+            next(iter(buffer._parked))  # peek before eviction
+            oldest = reference_order.pop(0)
+            evicted.append(oldest)
+            original_evict()
+
+        buffer._evict_oldest = traced_evict
+        for step in range(300):
+            item_id = bytes([rng.randrange(32)])
+            action = rng.random()
+            if action < 0.7:
+                if item_id not in buffer and len(buffer) >= 8:
+                    pass  # traced_evict pops the reference head
+                already = item_id in buffer
+                buffer.park(item_id, step, [bytes([rng.randrange(8)]) + b"p"])
+                if not already:
+                    reference_order.append(item_id)
+            else:
+                released = buffer.satisfy(bytes([rng.randrange(8)]) + b"p")
+                for released_id, _ in released:
+                    reference_order.remove(released_id)
+            assert list(buffer._parked) == reference_order
+        assert buffer.evictions == len(evicted)
 
     @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
                     max_size=30, unique=True))

@@ -125,3 +125,57 @@ class TestRunControl:
         scheduler.schedule(2.0, lambda: None)
         scheduler.run()
         assert scheduler.events_executed == 2
+
+
+class TestPendingAccounting:
+    def test_len_counts_live_events_only(self):
+        scheduler = EventScheduler()
+        ids = [scheduler.schedule(float(i + 1), lambda: None)
+               for i in range(4)]
+        assert len(scheduler) == 4
+        scheduler.cancel(ids[1])
+        assert len(scheduler) == 3
+        assert scheduler.pending == 4  # cancelled id still on the heap
+        scheduler.step()
+        assert len(scheduler) == 2
+
+    def test_cancel_after_fire_does_not_grow_tombstones(self):
+        scheduler = EventScheduler()
+        event_id = scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        scheduler.cancel(event_id)  # already fired: must be a no-op
+        assert len(scheduler._cancelled) == 0
+        assert len(scheduler) == 0
+
+    def test_double_cancel_keeps_one_tombstone(self):
+        scheduler = EventScheduler()
+        event_id = scheduler.schedule(1.0, lambda: None)
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.cancel(event_id)
+        scheduler.cancel(event_id)
+        assert len(scheduler._cancelled) == 1
+        assert len(scheduler) == 1
+
+    def test_tombstones_drain_as_heap_pops(self):
+        scheduler = EventScheduler()
+        ids = [scheduler.schedule(float(i + 1), lambda: None)
+               for i in range(10)]
+        for event_id in ids[:5]:
+            scheduler.cancel(event_id)
+        scheduler.run()
+        # Every tombstone was reclaimed when its heap entry popped.
+        assert len(scheduler._cancelled) == 0
+        assert scheduler.pending == 0
+        assert len(scheduler) == 0
+        assert scheduler.events_executed == 5
+
+    def test_len_stays_bounded_under_schedule_cancel_churn(self):
+        scheduler = EventScheduler()
+        for round_number in range(100):
+            event_id = scheduler.schedule(1.0, lambda: None)
+            scheduler.cancel(event_id)
+            scheduler.schedule(1.0, lambda: None)
+            scheduler.run()
+        assert len(scheduler._cancelled) == 0
+        assert len(scheduler) == 0
+        assert scheduler.events_executed == 100

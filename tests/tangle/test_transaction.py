@@ -194,3 +194,28 @@ class TestSerialisation:
         tx = make_tx()
         assert tx.short_hash in repr(tx)
         assert "data" in repr(tx)
+
+
+class TestMemoisation:
+    def test_digests_are_computed_once(self):
+        tx = make_tx()
+        assert tx.tx_hash is tx.tx_hash
+        assert tx.body_digest is tx.body_digest
+        assert tx.pow_challenge is tx.pow_challenge
+
+    def test_to_bytes_returns_cached_encoding(self):
+        tx = make_tx()
+        first = tx.to_bytes()
+        assert tx.to_bytes() is first
+
+    def test_from_bytes_seeds_encoding_memo(self):
+        encoded = make_tx().to_bytes()
+        decoded = Transaction.from_bytes(encoded)
+        assert decoded.to_bytes() == encoded
+        assert decoded.to_bytes() is decoded.to_bytes()
+
+    def test_round_trip_hash_stable_through_memo(self):
+        tx = make_tx()
+        decoded = Transaction.from_bytes(tx.to_bytes())
+        assert decoded.tx_hash == tx.tx_hash
+        assert decoded.body_digest == tx.body_digest

@@ -150,3 +150,145 @@ class TestLazyDetection:
         result = tangle.attach(second, arrival_time=1.1)
         assert result.parents_were_tips == (False, False)
         assert not detect_lazy_approval(result)
+
+
+class TestVerificationCache:
+    def test_check_miss_then_confirm_then_hit(self):
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        assert not cache.check(b"h1")
+        cache.confirm(b"h1")
+        assert cache.check(b"h1")
+        assert b"h1" in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache(max_size=2)
+        cache.confirm(b"a")
+        cache.confirm(b"b")
+        cache.check(b"a")  # refresh a's slot
+        cache.confirm(b"c")  # evicts b, the least recently used
+        assert cache.evictions == 1
+        assert b"b" not in cache
+        assert b"a" in cache and b"c" in cache
+
+    def test_max_size_validated(self):
+        from repro.tangle.validation import VerificationCache
+
+        with pytest.raises(ValueError):
+            VerificationCache(max_size=0)
+
+    def test_counts_hits_and_misses(self):
+        from repro.telemetry.registry import MetricsRegistry
+        from repro.tangle.validation import VerificationCache
+
+        telemetry = MetricsRegistry()
+        cache = VerificationCache(telemetry=telemetry)
+        cache.check(b"x")
+        cache.confirm(b"x")
+        cache.check(b"x")
+        cache.check(b"x")
+        assert telemetry.counter("repro_cache_verify_hits_total").total == 2.0
+        assert telemetry.counter("repro_cache_verify_misses_total").total == 1.0
+
+
+class TestCryptoValidatorWithCache:
+    def test_cache_skips_reverification(self, monkeypatch):
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        validator = crypto_validator(cache=cache)
+        tangle_a = fresh_tangle(validator)
+        tx = make_child(tangle_a)
+        tangle_a.attach(tx)
+        assert tx.tx_hash in cache
+        # A second tangle sharing the cache must not call the verifiers.
+        tangle_b = fresh_tangle(validator)
+        monkeypatch.setattr(
+            Transaction, "verify_pow",
+            lambda self: pytest.fail("verify_pow called on cache hit"))
+        monkeypatch.setattr(
+            Transaction, "verify_signature",
+            lambda self: pytest.fail("verify_signature called on cache hit"))
+        tangle_b.attach(tx)
+
+    def test_difficulty_floor_checked_before_cache(self):
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        permissive = fresh_tangle(crypto_validator(cache=cache))
+        tx = make_child(permissive, difficulty=2)
+        permissive.attach(tx)
+        # The same (cached) hash must still hit a stricter node's floor.
+        strict = fresh_tangle(
+            crypto_validator(min_difficulty=5, cache=cache))
+        with pytest.raises(InvalidPowError, match="floor"):
+            strict.attach(tx)
+
+    def test_failed_verification_is_not_cached(self):
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        tangle = fresh_tangle(crypto_validator(cache=cache))
+        tx = make_child(tangle, difficulty=14, nonce=0)
+        if tx.verify_pow():
+            pytest.skip("nonce 0 accidentally met difficulty")
+        with pytest.raises(InvalidPowError):
+            tangle.attach(tx)
+        assert tx.tx_hash not in cache
+        assert len(cache) == 0
+
+
+class TestTransactionDecodeCache:
+    def test_decode_hit_returns_same_instance(self):
+        from repro.tangle.transaction import TransactionDecodeCache
+
+        cache = TransactionDecodeCache()
+        tangle = fresh_tangle()
+        encoded = make_child(tangle).to_bytes()
+        first = cache.decode(encoded)
+        second = cache.decode(encoded)
+        assert second is first
+        assert len(cache) == 1
+
+    def test_junk_raises_and_is_not_cached(self):
+        from repro.tangle.transaction import TransactionDecodeCache
+
+        cache = TransactionDecodeCache()
+        with pytest.raises(ValueError):
+            cache.decode(b"junk")
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            cache.decode(b"junk")
+
+    def test_lru_eviction(self):
+        from repro.tangle.transaction import TransactionDecodeCache
+
+        cache = TransactionDecodeCache(max_size=2)
+        tangle = fresh_tangle()
+        payloads = [make_child(tangle, payload=bytes([i])).to_bytes()
+                    for i in range(3)]
+        cache.decode(payloads[0])
+        cache.decode(payloads[1])
+        cache.decode(payloads[0])  # refresh 0
+        cache.decode(payloads[2])  # evicts 1
+        assert cache.evictions == 1
+        assert cache.decode(payloads[0]) is not None
+        assert len(cache) == 2
+
+    def test_counts_hits_and_misses(self):
+        from repro.telemetry.registry import MetricsRegistry
+        from repro.tangle.transaction import TransactionDecodeCache
+
+        telemetry = MetricsRegistry()
+        cache = TransactionDecodeCache(telemetry=telemetry)
+        tangle = fresh_tangle()
+        encoded = make_child(tangle).to_bytes()
+        cache.decode(encoded)
+        cache.decode(encoded)
+        cache.decode(encoded)
+        assert telemetry.counter("repro_cache_decode_hits_total").total == 2.0
+        assert telemetry.counter("repro_cache_decode_misses_total").total == 1.0
