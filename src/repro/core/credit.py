@@ -342,11 +342,20 @@ class CreditRegistry:
             # Eagerly admit appends that land inside the current valid
             # window: weight pushes arriving before the next evaluation
             # must only ever adjust records the sum actually counts.
+            # Admission is only sound when the append lands exactly at
+            # w_hi — an in-order record that is nevertheless older than
+            # the window start leaves w_hi short of the list end, and
+            # blindly bumping w_hi on the *next* in-window append would
+            # count the wrong record.  Any other append at/below w_now
+            # invalidates instead.
             w_now = history.w_now
-            if (w_now is not None and timestamp <= w_now
-                    and timestamp >= w_now - self.params.delta_t):
-                history.w_sum += record.weight
-                history.w_hi += 1
+            if w_now is not None and timestamp <= w_now:
+                if (timestamp >= w_now - self.params.delta_t
+                        and history.w_hi == len(history.timestamps) - 1):
+                    history.w_sum += record.weight
+                    history.w_hi += 1
+                else:
+                    history.invalidate_window()
         else:
             index = bisect_right(history.timestamps, timestamp)
             history.records.insert(index, record)

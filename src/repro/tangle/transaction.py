@@ -123,6 +123,24 @@ class Transaction:
             self.body_digest, self.nonce.to_bytes(8, "big")))
 
     @property
+    def full_digest(self) -> bytes:
+        """Digest committing to the *entire* instance, signature included.
+
+        ``tx_hash`` does not commit to the signature (the signature is
+        computed *over* the hash), so two instances with identical
+        content but different signature bytes share a ``tx_hash``.
+        Anything that must distinguish byte-exact instances — e.g. the
+        :class:`~repro.tangle.validation.VerificationCache`, where a
+        relayed copy with a forged signature must not inherit the
+        original's verification — keys on this digest instead.
+        """
+        cached = self.__dict__.get("_full_digest")
+        if cached is not None:
+            return cached
+        return self._memo("_full_digest", hash_concat(
+            self.tx_hash, self.signature))
+
+    @property
     def short_hash(self) -> str:
         return self.tx_hash.hex()[:8]
 

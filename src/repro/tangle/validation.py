@@ -6,7 +6,8 @@ duplicates).  Everything else composes in as validators:
 * :func:`crypto_validator` — PoW and signature verification plus a
   minimum-difficulty floor (what every full node runs);
 * :class:`VerificationCache` — a bounded LRU remembering which
-  transaction hashes already passed signature+PoW verification, so a
+  byte-exact transaction instances (keyed by the signature-committing
+  ``full_digest``) already passed signature+PoW verification, so a
   full node (or a deployment of full nodes sharing one cache) pays the
   Ed25519 verify and the PoW hash exactly once per transaction instead
   of once per hop/duplicate;
@@ -44,20 +45,35 @@ DEFAULT_MAX_PARENT_AGE = 30.0
 the paper's ΔT=30 s activity window."""
 
 DEFAULT_VERIFY_CACHE_SIZE = 65536
-"""Default capacity of a :class:`VerificationCache`: 64k 32-byte hashes
-(~4 MiB with LRU bookkeeping) comfortably covers the in-flight window of
-a multi-hundred-node deployment."""
+"""Default capacity of a :class:`VerificationCache`: 64k 32-byte
+digests (~4 MiB with LRU bookkeeping) comfortably covers the in-flight
+window of a multi-hundred-node deployment."""
 
 
 class VerificationCache:
-    """Bounded LRU of transaction hashes that passed sig+PoW checks.
+    """Bounded LRU of transaction instances that passed crypto checks.
 
-    Only the *positive* outcome is cached: verification of an immutable
-    transaction is deterministic (the hash commits to body, nonce and
-    issuer), so a hash that verified once verifies always.  Failures are
-    never cached — they raise and the transaction is dropped, so there
-    is no repeat cost to save, and caching them would let one hash
-    collision poison rejection.
+    Entries are keyed by :attr:`~repro.tangle.transaction.Transaction.
+    full_digest`, which commits to the signature bytes — *not* by
+    ``tx_hash``, which does not (the signature is computed over the
+    hash).  Keying by hash would let a relayed copy with the same
+    content but a corrupted or forged signature inherit the original's
+    verification; with the full digest, only byte-identical instances
+    skip re-verification, and verification of a byte-identical immutable
+    instance is deterministic, so a positive outcome cached once is
+    sound forever.
+
+    Each entry also records whether PoW was *actually* verified when it
+    was confirmed.  A validator that enforces PoW only hits on
+    PoW-verified entries, so sharing one cache between enforcing and
+    ``allow_simulated_pow`` validators never lets a simulation-grade
+    confirmation bypass an enforcing node's nonce check (signature-only
+    entries are upgraded in place once an enforcing node verifies the
+    nonce).
+
+    Only the *positive* outcome is cached: failures raise and the
+    transaction is dropped, so there is no repeat cost to save, and
+    caching them would let one collision poison rejection.
 
     The cache is safe to share across the full nodes of one simulated
     deployment — that is the intended topology (see
@@ -75,7 +91,9 @@ class VerificationCache:
         if max_size < 1:
             raise ValueError("max_size must be >= 1")
         self.max_size = max_size
-        self._verified: "OrderedDict[bytes, None]" = OrderedDict()
+        # key (full digest) -> True when PoW was verified for the entry,
+        # False when only the signature was (allow_simulated_pow).
+        self._verified: "OrderedDict[bytes, bool]" = OrderedDict()
         self.evictions = 0
         telemetry = coerce_registry(telemetry)
         self._m_hit = telemetry.counter(
@@ -88,25 +106,36 @@ class VerificationCache:
     def __len__(self) -> int:
         return len(self._verified)
 
-    def __contains__(self, tx_hash: bytes) -> bool:
-        return tx_hash in self._verified
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._verified
 
-    def check(self, tx_hash: bytes) -> bool:
-        """True when *tx_hash* already verified (refreshes its LRU slot
-        and counts a hit); False counts a miss."""
+    def check(self, key: bytes, *, require_pow: bool = True) -> bool:
+        """True when *key* already verified to the required level
+        (refreshes its LRU slot and counts a hit); False counts a miss.
+
+        With *require_pow* a signature-only entry (confirmed under
+        ``allow_simulated_pow``) is a miss: the caller must verify the
+        nonce itself before trusting the instance.
+        """
         verified = self._verified
-        if tx_hash in verified:
-            verified.move_to_end(tx_hash)
+        pow_verified = verified.get(key)
+        if pow_verified is not None and (pow_verified or not require_pow):
+            verified.move_to_end(key)
             self._m_hit.inc()
             return True
         self._m_miss.inc()
         return False
 
-    def confirm(self, tx_hash: bytes) -> None:
-        """Record that *tx_hash* passed signature+PoW verification."""
+    def confirm(self, key: bytes, *, pow_verified: bool = True) -> None:
+        """Record that *key* passed verification.
+
+        *pow_verified* says whether the nonce was cryptographically
+        checked; a signature-only confirmation never downgrades an
+        existing PoW-verified entry.
+        """
         verified = self._verified
-        verified[tx_hash] = None
-        verified.move_to_end(tx_hash)
+        verified[key] = pow_verified or verified.get(key, False)
+        verified.move_to_end(key)
         if len(verified) > self.max_size:
             verified.popitem(last=False)
             self.evictions += 1
@@ -124,10 +153,14 @@ def crypto_validator(*, min_difficulty: int = 1,
             counts instead of grinding nonces, so their nonces do not
             verify; set True only inside such experiments.
         cache: optional :class:`VerificationCache`; on a hit the
-            expensive sig+PoW work is skipped.  The difficulty floor and
-            the self-approval check still run per call — they are O(1)
-            comparisons and the floor is validator-local policy, not a
-            property of the transaction.
+            expensive sig+PoW work is skipped.  Entries are keyed by
+            ``tx.full_digest`` (commits to the signature) and tagged
+            with whether PoW was enforced, so sharing one cache across
+            validators with different ``allow_simulated_pow`` settings
+            stays sound.  The difficulty floor and the self-approval
+            check still run per call — they are O(1) comparisons and
+            the floor is validator-local policy, not a property of the
+            transaction.
     """
 
     def validate(tangle: Tangle, tx: Transaction) -> None:
@@ -136,15 +169,17 @@ def crypto_validator(*, min_difficulty: int = 1,
                 f"{tx.short_hash} declares difficulty {tx.difficulty} "
                 f"below the floor {min_difficulty}"
             )
-        tx_hash = tx.tx_hash
-        if cache is None or not cache.check(tx_hash):
-            if not allow_simulated_pow and not tx.verify_pow():
+        enforce_pow = not allow_simulated_pow
+        if cache is None or not cache.check(tx.full_digest,
+                                            require_pow=enforce_pow):
+            if enforce_pow and not tx.verify_pow():
                 raise InvalidPowError(f"{tx.short_hash} nonce fails difficulty "
                                       f"{tx.difficulty}")
             if not tx.verify_signature():
                 raise InvalidSignatureError(f"{tx.short_hash} signature invalid")
             if cache is not None:
-                cache.confirm(tx_hash)
+                cache.confirm(tx.full_digest, pow_verified=enforce_pow)
+        tx_hash = tx.tx_hash
         if tx.branch == tx_hash or tx.trunk == tx_hash:
             raise SelfApprovalError(f"{tx.short_hash} approves itself")
 

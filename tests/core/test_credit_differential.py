@@ -121,12 +121,18 @@ class TestSeededScheduleDifferential:
                 dropped_ref = reference.forget_before(node_id, cutoff)
                 assert dropped_fast == dropped_ref
             else:
-                # Evaluate: 70% at the monotone frontier, 30% in the past
-                # (the consensus validator evaluates at tx.timestamp).
+                # Evaluate: mostly at the monotone frontier, sometimes in
+                # the past (the consensus validator evaluates at
+                # tx.timestamp), sometimes far ahead of every record — so
+                # later in-order appends land *behind* the window start
+                # (the eager-admission regression).
                 now = clock
-                if rng.random() < 0.3:
+                roll = rng.random()
+                if roll < 0.3:
                     now = max(0.0, clock - rng.choice([0.25, 2.0, 10.0, 29.75,
                                                        30.0, 45.0]))
+                elif roll < 0.45:
+                    now = clock + rng.choice([31.0, 75.0, 300.0])
                 assert_equal_evaluations(optimized, reference, node_ids, now)
 
         assert_equal_evaluations(optimized, reference, node_ids, clock)
@@ -179,6 +185,35 @@ class TestSeededScheduleDifferential:
                 optimized.credit(node_id, clock)
             assert restored.malicious_count(node_id) == \
                 optimized.malicious_count(node_id)
+
+
+class TestStaleInOrderAppendDifferential:
+    """Regression: an in-order append older than the window start used
+    to leave ``w_hi`` short of the record list end, so the next
+    in-window append double-counted itself and evicted the wrong
+    record on the following evaluation."""
+
+    def test_stale_append_then_in_window_append(self):
+        weights = GrowingWeights()
+        params = CreditParameters(delta_t=30.0)
+        optimized = CreditRegistry(params, weight_provider=weights.provider)
+        reference = ReferenceCreditRegistry(
+            params, weight_provider=weights.provider)
+        node = b"\x01" * 32
+        h_old, h_stale, h_live = (bytes([i + 10]) * 32 for i in range(3))
+        for tx_hash, weight in ((h_old, 1), (h_stale, 1), (h_live, 3)):
+            weights.set(tx_hash, weight)
+        for registry in (optimized, reference):
+            registry.record_transaction(node, h_old, 0.0)
+        # Advance the window frontier far past every record...
+        assert_equal_evaluations(optimized, reference, [node], 300.0)
+        for registry in (optimized, reference):
+            # ...then append in-order but behind the window start, and
+            # follow with a genuinely in-window append.
+            registry.record_transaction(node, h_stale, 1.0)
+            registry.record_transaction(node, h_live, 299.0)
+        assert_equal_evaluations(optimized, reference, [node], 300.0)
+        assert optimized.positive_credit(node, 300.0) == 3.0 / 30.0
 
 
 class TestTangleBackedDifferential:

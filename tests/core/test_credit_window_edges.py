@@ -99,6 +99,47 @@ class TestOutOfOrderTimestamps:
         assert registry.positive_credit(NODE, 42.0) == 5.0 / 30.0
 
 
+class TestInOrderAppendBehindWindow:
+    """An append can be in-order (>= the newest timestamp) yet older
+    than the window start when the evaluation frontier ran far ahead of
+    the records.  Such appends are inadmissible and must not leave the
+    eager-admission indices pointing at the wrong record."""
+
+    def test_stale_append_then_in_window_append(self):
+        weights = {make_hash(0): 1.0, make_hash(1): 1.0, make_hash(2): 3.0}
+        registry = CreditRegistry(CreditParameters(delta_t=30.0),
+                                  weight_provider=weights.__getitem__)
+        registry.record_transaction(NODE, make_hash(0), 0.0)
+        assert registry.positive_credit(NODE, 300.0) == 0.0
+        registry.record_transaction(NODE, make_hash(1), 1.0)  # behind 270
+        registry.record_transaction(NODE, make_hash(2), 299.0)
+        # Only the t=299 record is in [270, 300].
+        assert registry.positive_credit(NODE, 300.0) == 3.0 / 30.0
+
+    def test_repeated_stale_appends(self):
+        registry = CreditRegistry(CreditParameters(delta_t=30.0))
+        registry.record_transaction(NODE, make_hash(0), 0.0)
+        assert registry.positive_credit(NODE, 300.0) == 0.0
+        for i in range(1, 5):
+            registry.record_transaction(NODE, make_hash(i), float(i))
+        registry.record_transaction(NODE, make_hash(5), 280.0)
+        registry.record_transaction(NODE, make_hash(6), 300.0)
+        assert registry.positive_credit(NODE, 300.0) == 2.0 / 30.0
+
+    def test_weight_push_after_stale_append(self):
+        """A weight push between the stale append and the next
+        evaluation must not corrupt the (invalidated) window sum."""
+        weights = {make_hash(0): 1.0, make_hash(1): 1.0}
+        registry = CreditRegistry(CreditParameters(delta_t=30.0),
+                                  weight_provider=weights.__getitem__)
+        registry.record_transaction(NODE, make_hash(0), 0.0)
+        assert registry.positive_credit(NODE, 300.0) == 0.0
+        registry.record_transaction(NODE, make_hash(1), 1.0)
+        registry.refresh_weight_values({make_hash(1): 4.0})
+        assert registry.positive_credit(NODE, 300.0) == 0.0
+        assert registry.positive_credit(NODE, 31.0) == 4.0 / 30.0
+
+
 class TestForgetMidWindow:
     def test_forget_before_cuts_through_live_window(self):
         registry = CreditRegistry(CreditParameters(delta_t=30.0))

@@ -204,7 +204,7 @@ class TestCryptoValidatorWithCache:
         tangle_a = fresh_tangle(validator)
         tx = make_child(tangle_a)
         tangle_a.attach(tx)
-        assert tx.tx_hash in cache
+        assert tx.full_digest in cache
         # A second tangle sharing the cache must not call the verifiers.
         tangle_b = fresh_tangle(validator)
         monkeypatch.setattr(
@@ -238,8 +238,66 @@ class TestCryptoValidatorWithCache:
             pytest.skip("nonce 0 accidentally met difficulty")
         with pytest.raises(InvalidPowError):
             tangle.attach(tx)
-        assert tx.tx_hash not in cache
+        assert tx.full_digest not in cache
         assert len(cache) == 0
+
+    def test_forged_signature_does_not_hit_shared_cache(self):
+        """tx_hash does not commit to the signature, so a relayed copy
+        with the same content but corrupted signature bytes must NOT
+        inherit the original's cached verification."""
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        validator = crypto_validator(cache=cache)
+        tangle_a = fresh_tangle(validator)
+        good = make_child(tangle_a)
+        tangle_a.attach(good)
+        forged = Transaction(
+            kind=good.kind, issuer=good.issuer, payload=good.payload,
+            timestamp=good.timestamp, branch=good.branch, trunk=good.trunk,
+            difficulty=good.difficulty, nonce=good.nonce,
+            signature=bytes(64),
+        )
+        assert forged.tx_hash == good.tx_hash
+        assert forged.full_digest != good.full_digest
+        tangle_b = fresh_tangle(validator)
+        with pytest.raises(InvalidSignatureError):
+            tangle_b.attach(forged)
+        # The genuine instance still verifies from the cache.
+        tangle_b.attach(good)
+
+    def test_simulated_confirmation_does_not_bypass_enforcing_pow(self):
+        """A cache shared between a simulated-PoW validator and an
+        enforcing one must not let the former's confirmations skip the
+        latter's nonce check."""
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        permissive = fresh_tangle(
+            crypto_validator(allow_simulated_pow=True, cache=cache))
+        tx = make_child(permissive, difficulty=14, nonce=0)
+        if tx.verify_pow():
+            pytest.skip("nonce 0 accidentally met difficulty")
+        permissive.attach(tx)  # confirmed signature-only
+        assert tx.full_digest in cache
+        enforcing = fresh_tangle(crypto_validator(cache=cache))
+        with pytest.raises(InvalidPowError):
+            enforcing.attach(tx)
+
+    def test_enforcing_verification_upgrades_simulated_entry(self):
+        from repro.tangle.validation import VerificationCache
+
+        cache = VerificationCache()
+        permissive = fresh_tangle(
+            crypto_validator(allow_simulated_pow=True, cache=cache))
+        tx = make_child(permissive)  # real PoW, also valid when enforced
+        permissive.attach(tx)
+        enforcing = fresh_tangle(crypto_validator(cache=cache))
+        enforcing.attach(tx)  # verifies the nonce, upgrades the entry
+        assert cache.check(tx.full_digest, require_pow=True)
+        # ...and a later simulated confirm must not downgrade it back.
+        cache.confirm(tx.full_digest, pow_verified=False)
+        assert cache.check(tx.full_digest, require_pow=True)
 
 
 class TestTransactionDecodeCache:
