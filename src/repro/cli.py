@@ -10,6 +10,7 @@ Usage::
     python -m repro summary
     python -m repro telemetry --scenario smoke --require-all
     python -m repro chaos --scenario partition-heal --seed 7
+    python -m repro storage --seed 7 --backend file
 
 Each experiment subcommand prints the same series the matching
 benchmark writes to ``benchmarks/out/``; ``workflow`` runs the Fig. 6
@@ -106,6 +107,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "stays canonical)")
     chaos.add_argument("--list", action="store_true",
                        help="list available scenarios and exit")
+
+    storage = sub.add_parser(
+        "storage", help="run the crash/restart storage differential and "
+                        "print its byte-deterministic result")
+    storage.add_argument("--seed", type=int, default=7)
+    storage.add_argument("--backend", choices=["file", "sqlite"],
+                         default="file")
+    storage.add_argument("--steps", type=int, default=60,
+                         help="workload length (transactions issued)")
+    storage.add_argument("--dir", type=str, default=None,
+                         help="store directory (must be empty; default "
+                              "is a throwaway temporary directory)")
+    storage.add_argument("--out", type=str, default=None,
+                         help="also write the canonical JSON result here")
 
     return parser
 
@@ -258,6 +273,30 @@ def _cmd_chaos(args) -> int:
     return 0 if report.converged else 1
 
 
+def _cmd_storage(args) -> int:
+    import json
+    import tempfile
+
+    from .storage.differential import run_differential
+
+    def run(directory: str):
+        return run_differential(seed=args.seed, storage_dir=directory,
+                                backend=args.backend, steps=args.steps)
+
+    if args.dir is not None:
+        result = run(args.dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-storage-") as tmp:
+            result = run(tmp)
+    encoded = json.dumps(result, sort_keys=True,
+                         separators=(",", ":"))
+    print(encoded)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(encoded + "\n")
+    return 0 if result["matched"] else 1
+
+
 _COMMANDS = {
     "workflow": _cmd_workflow,
     "fig7": _cmd_fig7,
@@ -268,6 +307,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "telemetry": _cmd_telemetry,
     "chaos": _cmd_chaos,
+    "storage": _cmd_storage,
 }
 
 

@@ -71,6 +71,16 @@ class BIoTConfig:
             :class:`~repro.telemetry.Tracer` pair (sim-clock
             timestamps).  Off by default: the null registry keeps the
             hot paths at zero measurable overhead.
+        storage_backend: durable store behind each full node —
+            ``"memory"`` (default; identical to the pre-storage
+            behaviour), ``"file"`` (append-only JSONL log) or
+            ``"sqlite"``.  Durable backends journal every attached
+            transaction and enable crash/restart recovery from disk.
+        storage_dir: directory the durable backends lay per-node
+            stores under; required when *storage_backend* is not
+            ``"memory"``, and must be empty for a fresh deployment
+            (restores go through :meth:`~repro.nodes.full_node.
+            FullNode.cold_restore`, never through ``build``).
     """
 
     gateway_count: int = 2
@@ -89,6 +99,8 @@ class BIoTConfig:
     token_allocation: int = 1000
     retry_policy: Optional[BackoffPolicy] = None
     telemetry: bool = False
+    storage_backend: str = "memory"
+    storage_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.gateway_count < 1:
@@ -98,6 +110,10 @@ class BIoTConfig:
         for sensor_type in self.sensor_cycle:
             if sensor_type not in SENSOR_TYPES:
                 raise ValueError(f"unknown sensor type {sensor_type!r}")
+        if self.storage_backend not in ("memory", "file", "sqlite"):
+            raise ValueError(
+                f"unknown storage backend {self.storage_backend!r} "
+                f"(known: memory, file, sqlite)")
 
 
 class BIoTSystem:
@@ -231,6 +247,30 @@ class BIoTSystem:
                 if a.address != b.address:
                     a.add_peer(b.address)
                     network.set_link(a.address, b.address, config.backbone_link)
+
+        if config.storage_backend != "memory":
+            # Imported lazily: repro.storage is optional plumbing the
+            # default in-memory deployment never touches.
+            from ..storage.errors import StorageError
+            from ..storage.persistence import NodePersistence
+            from ..storage.store import open_store
+
+            if config.storage_dir is None:
+                raise StorageError(
+                    f"storage_backend={config.storage_backend!r} needs "
+                    f"storage_dir")
+            for node in full_nodes:
+                store = open_store(config.storage_backend,
+                                   config.storage_dir, node=node.address,
+                                   telemetry=telemetry)
+                if len(store):
+                    raise StorageError(
+                        f"storage_dir already holds a log for "
+                        f"{node.address}: a fresh deployment needs an "
+                        f"empty storage_dir; restoring an existing one "
+                        f"goes through FullNode.cold_restore")
+                node.attach_persistence(
+                    NodePersistence(store, telemetry=telemetry))
 
         devices: List[LightNode] = []
         for i, (address, keys) in enumerate(sorted(device_keys.items())):

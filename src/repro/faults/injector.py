@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.network import Network
 from ..network.transport import LinkOverlay
+from ..storage.errors import StorageError
 from ..telemetry.registry import coerce_registry
 from .plan import (
     ClockSkewFault,
@@ -153,14 +154,36 @@ class FaultInjector:
 
         def restart() -> None:
             self.network.bring_up(event.address)
-            self._log("heal", event.kind, event.address)
             node = self._full_node_at(event.address)
+            if event.cold_restart and node is not None:
+                replayed = self._cold_restore(node)
+                self._log("heal", event.kind,
+                          f"{event.address} cold:{replayed}")
+            else:
+                self._log("heal", event.kind, event.address)
             if node is not None and event.resync_on_restart:
                 self._schedule_resync(only=node)
 
         self.scheduler.schedule_at(base + event.at, inject)
         if event.restart_at is not None:
             self.scheduler.schedule_at(base + event.restart_at, restart)
+
+    def _cold_restore(self, node) -> int:
+        """Rebuild a crashed node from its durable store.
+
+        A cold restart without a store is an error, not a silent
+        regeneration of genesis state: the pre-storage churn scenario
+        restarted nodes with their volatile state intact (a network
+        blip, not a process death), and "restart from nothing" must
+        never masquerade as recovery.
+        """
+        if getattr(node, "persistence", None) is None:
+            raise StorageError(
+                f"cold restart of {node.address} has no durable store to "
+                f"restore from — the node would silently regenerate "
+                f"genesis state; configure BIoTConfig.storage_backend/"
+                f"storage_dir")
+        return node.cold_restore()
 
     # -- bursts -----------------------------------------------------------
 

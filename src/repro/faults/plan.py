@@ -132,12 +132,18 @@ class CrashFault(FaultEvent):
     """Crash a node at *at*; restart it at *restart_at* (None = never).
 
     A restarted full node resyncs with its peers (anti-entropy) unless
-    *resync_on_restart* is disabled.
+    *resync_on_restart* is disabled.  With *cold_restart* the node's
+    volatile state is rebuilt from its durable store before the resync
+    (a process-death restart, not a network blip) — which requires the
+    deployment to run a durable storage backend; a cold restart of a
+    store-less node is refused rather than silently regenerating
+    genesis state.
     """
 
     address: str = ""
     restart_at: Optional[float] = None
     resync_on_restart: bool = True
+    cold_restart: bool = False
 
     kind = "crash"
 
@@ -153,7 +159,8 @@ class CrashFault(FaultEvent):
     def describe(self) -> Dict[str, object]:
         return {"kind": self.kind, "at": self.at, "address": self.address,
                 "restart_at": self.restart_at,
-                "resync_on_restart": self.resync_on_restart}
+                "resync_on_restart": self.resync_on_restart,
+                "cold_restart": self.cold_restart}
 
 
 @dataclass(frozen=True)
@@ -306,10 +313,12 @@ class PlanBuilder:
 
     def crash(self, at: float, address: str, *,
               restart_at: Optional[float] = None,
-              resync_on_restart: bool = True) -> "PlanBuilder":
+              resync_on_restart: bool = True,
+              cold_restart: bool = False) -> "PlanBuilder":
         self._events.append(CrashFault(
             at=at, address=address, restart_at=restart_at,
-            resync_on_restart=resync_on_restart))
+            resync_on_restart=resync_on_restart,
+            cold_restart=cold_restart))
         return self
 
     def loss(self, at: float, until: float, rate: float, *,

@@ -30,6 +30,7 @@ __all__ = [
     "tangle_hash",
     "ledger_hash",
     "acl_hash",
+    "credit_hash",
     "node_state_hashes",
     "canonical_json",
 ]
@@ -62,6 +63,20 @@ def acl_hash(acl) -> str:
     """Content hash of the authorisation list."""
     return hashlib.sha256(
         canonical_json(acl.export_state()).encode()).hexdigest()
+
+
+def credit_hash(registry, *, now: float) -> str:
+    """Content hash of a credit registry's behaviour histories.
+
+    The export is windowed to *now* (records older than ΔT drop out),
+    so comparisons are only meaningful between registries read at the
+    same ledger time — which is exactly what the storage differential
+    harness does.  Not part of :func:`node_state_hashes`: credit is a
+    per-replica *estimate* under faults, but must be an exact match
+    across a crash/restore of a single node.
+    """
+    return hashlib.sha256(
+        canonical_json(registry.export_state(now=now)).encode()).hexdigest()
 
 
 def node_state_hashes(node) -> Dict[str, str]:

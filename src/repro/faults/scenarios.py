@@ -9,6 +9,9 @@ and the ``repro chaos`` CLI both run against:
 * ``smoke`` — one of everything, short: the CI determinism probe;
 * ``partition-heal`` — a gateway island partitioned and healed;
 * ``churn`` — staggered gateway crash/restart cycles;
+* ``churn-durable`` — the same churn, but every restart is a *cold*
+  restart rebuilt from a durable file store (process death, not
+  network blip);
 * ``lossy-burst`` — loss, duplication and latency storms;
 * ``skewed-clock`` — per-node clock skew inside the freshness window.
 
@@ -18,8 +21,10 @@ campaign must end with identical replica state for any seed.
 
 from __future__ import annotations
 
+import dataclasses
+import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from ..core.biot import BIoTConfig
 from .plan import FaultPlan, PlanBuilder
@@ -39,8 +44,27 @@ class Scenario:
     config: BIoTConfig = field(default_factory=BIoTConfig)
     settings: ChaosSettings = field(default_factory=ChaosSettings)
 
-    def run(self, *, seed: Optional[int] = None) -> ConvergenceReport:
-        runner = ChaosRunner(self.config, settings=self.settings)
+    def run(self, *, seed: Optional[int] = None,
+            storage_dir: Optional[str] = None) -> ConvergenceReport:
+        """Run the campaign (optionally reseeded).
+
+        Durable scenarios need somewhere to put their stores: pass
+        *storage_dir* to keep the artifacts (must be empty), or leave
+        it None to run inside a throwaway temporary directory.
+        """
+        config = self.config
+        if config.storage_backend != "memory" and config.storage_dir is None:
+            if storage_dir is None:
+                with tempfile.TemporaryDirectory(
+                        prefix="repro-chaos-") as tmp:
+                    return self._run_with(
+                        dataclasses.replace(config, storage_dir=tmp), seed)
+            config = dataclasses.replace(config, storage_dir=storage_dir)
+        return self._run_with(config, seed)
+
+    def _run_with(self, config: BIoTConfig,
+                  seed: Optional[int]) -> ConvergenceReport:
+        runner = ChaosRunner(config, settings=self.settings)
         return runner.run(self.plan, seed=seed, scenario=self.name)
 
 
@@ -72,6 +96,16 @@ def _churn_plan() -> FaultPlan:
             .crash(8.0, "gateway-0", restart_at=16.0)
             .crash(20.0, "gateway-1", restart_at=28.0)
             .crash(32.0, "gateway-0", restart_at=38.0)
+            .build())
+
+
+def _churn_durable_plan() -> FaultPlan:
+    """The churn schedule with process-death semantics: each restarted
+    gateway is rebuilt from its durable store before resyncing."""
+    return (PlanBuilder("churn-durable")
+            .crash(8.0, "gateway-0", restart_at=16.0, cold_restart=True)
+            .crash(20.0, "gateway-1", restart_at=28.0, cold_restart=True)
+            .crash(32.0, "gateway-0", restart_at=38.0, cold_restart=True)
             .build())
 
 
@@ -116,6 +150,13 @@ SCENARIOS: Dict[str, Scenario] = {
             plan=_churn_plan(),
         ),
         Scenario(
+            name="churn-durable",
+            description="rolling gateway cold restarts rebuilt from "
+                        "durable file stores",
+            plan=_churn_durable_plan(),
+            config=BIoTConfig(storage_backend="file"),
+        ),
+        Scenario(
             name="lossy-burst",
             description="loss, duplication and latency storms",
             plan=_lossy_burst_plan(),
@@ -137,6 +178,7 @@ def get_scenario(name: str) -> Scenario:
         raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
 
 
-def run_scenario(name: str, *, seed: Optional[int] = None) -> ConvergenceReport:
+def run_scenario(name: str, *, seed: Optional[int] = None,
+                 storage_dir: Optional[str] = None) -> ConvergenceReport:
     """Run a canned campaign by name (the CLI entry point)."""
-    return get_scenario(name).run(seed=seed)
+    return get_scenario(name).run(seed=seed, storage_dir=storage_dir)

@@ -95,6 +95,12 @@ class GossipRelay:
     def has_seen(self, item_id: bytes) -> bool:
         return item_id in self._seen
 
+    def reset_seen(self) -> None:
+        """Drop the duplicate-suppression set.  It is volatile node
+        memory: a cold restart must not remember pre-crash floods, or
+        the restored node would refuse legitimate re-deliveries."""
+        self._seen.clear()
+
     def relay_targets(self, item_id: bytes, *, exclude: str = None) -> List[str]:
         """Peers to forward a newly seen item to (exclude its source)."""
         self.relays += 1

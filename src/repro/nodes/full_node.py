@@ -174,11 +174,10 @@ class FullNode(NetworkNode):
         self.weight_flush_interval = weight_flush_interval
         self.verification_cache = verification_cache
         self.decode_cache = decode_cache
-        self.tangle = Tangle(genesis, validators=[
-            crypto_validator(allow_simulated_pow=not enforce_pow,
-                             cache=verification_cache),
-        ], weight_flush_interval=weight_flush_interval,
-            telemetry=self.telemetry)
+        self._enforce_pow = enforce_pow
+        self.tangle = Tangle(genesis, validators=self._base_validators(),
+                             weight_flush_interval=weight_flush_interval,
+                             telemetry=self.telemetry)
         self.consensus.bind_tangle(self.tangle)
         self.relay = GossipRelay(telemetry=self.telemetry, node=address)
         self.relay.mark_seen(genesis.tx_hash)
@@ -207,6 +206,17 @@ class FullNode(NetworkNode):
         # effects already baked into the registry (imported snapshot
         # state); re-ingesting them must not re-record behaviour.
         self.credit_horizon = -float("inf")
+        # Durable journalling (repro.storage): None keeps the node
+        # fully in-memory, exactly as before the storage layer existed.
+        self.persistence = None
+
+    def _base_validators(self):
+        """The stateless replication validators every tangle this node
+        owns (initial, snapshot-restored, cold-restored) must run."""
+        return [
+            crypto_validator(allow_simulated_pow=not self._enforce_pow,
+                             cache=self.verification_cache),
+        ]
 
     # -- peers -------------------------------------------------------------
 
@@ -256,6 +266,10 @@ class FullNode(NetworkNode):
             self.tangle.add_validator(validator)
         self.acl.import_state(snapshot.acl_state)
         self.ledger.import_state(snapshot.ledger_state)
+        # Reversal payloads are not part of the ledger wire state;
+        # rebuild them from the retained region so conflict arbitration
+        # spanning the snapshot boundary replays exactly.
+        self.ledger.rehydrate(tx for tx, _ in snapshot.tangle.retained)
         self.consensus.registry.import_state(snapshot.credit_state)
         # Re-bind: the provider, flush listener and refresh hook must all
         # point at the freshly restored tangle, not the discarded one.
@@ -279,6 +293,100 @@ class FullNode(NetworkNode):
         node = cls(address, snapshot.tangle.genesis, **kwargs)
         node.adopt_snapshot(snapshot)
         return node
+
+    # -- durability (repro.storage) ------------------------------------------
+
+    def attach_persistence(self, persistence) -> None:
+        """Start journalling to *persistence* (a :class:`~repro.storage.
+        persistence.NodePersistence`).
+
+        The store is bound to this node's genesis; any transactions
+        already attached before the journal existed are backfilled so
+        the log covers the whole history (skipped when the store already
+        holds that history — a checkpoint or journal records).
+        """
+        persistence.initialize(self.tangle.genesis)
+        if persistence.epoch == 0 and persistence.transactions_logged == 0:
+            for tx in self.tangle:
+                if not tx.is_genesis:
+                    persistence.record_transaction(
+                        tx, self.tangle.arrival_time(tx.tx_hash))
+        self.persistence = persistence
+
+    def replay_attach(self, tx: Transaction, *, arrival_time: float) -> bool:
+        """Re-attach one journalled transaction during a restore.
+
+        Replay is trusted local history, not network traffic: no
+        admission policy, no flooding, no parent fetching — and credit
+        *is* observed regardless of the horizon, because the journal
+        tail postdates the snapshot that set the horizon by
+        construction.  A journalled transaction whose parents are
+        missing means the log and snapshot disagree, which is
+        corruption, not gossip reordering.
+        """
+        from ..storage.errors import StorageCorruptionError
+
+        try:
+            result = self.tangle.attach(tx, arrival_time=arrival_time)
+        except DuplicateTransactionError:
+            return False
+        except UnknownParentError as exc:
+            raise StorageCorruptionError(
+                f"journal replay references a missing parent "
+                f"({exc}) — log and snapshot disagree") from exc
+        self.consensus.observe_attach(result)
+        self._apply_side_effects(tx, arrival_time)
+        self.relay.mark_seen(tx.tx_hash)
+        return True
+
+    def cold_restore(self) -> int:
+        """Rebuild this node's entire state from its durable store.
+
+        This is the crash/restart path: volatile state (tangle, ledger,
+        ACL, credit, gossip memory, solidification buffer) is discarded
+        and reconstructed from the newest checkpoint plus the journal
+        tail.  Anti-entropy (:meth:`resync_with_peers`) then covers
+        whatever the journal missed.  Returns the number of journal
+        records replayed.
+        """
+        from ..storage.errors import StorageError
+
+        if self.persistence is None:
+            raise StorageError(
+                f"cold restart of {self.address} has no durable store to "
+                f"restore from — the node would silently regenerate "
+                f"genesis state; configure BIoTConfig.storage_backend/"
+                f"storage_dir")
+        persistence, self.persistence = self.persistence, None
+        restore = persistence.load()
+        genesis = restore.genesis
+        if genesis.tx_hash != self.tangle.genesis.tx_hash:
+            self.persistence = persistence
+            raise StorageError(
+                f"store genesis does not match {self.address}'s deployment")
+
+        config = GenesisConfig.from_genesis(genesis)
+        self.acl = AuthorizationList(config.manager, config.extra_managers)
+        self.ledger = TokenLedger(dict(config.token_allocations))
+        self.consensus.registry.import_state({"nodes": {}})
+        self.tangle = Tangle(genesis, validators=self._base_validators(),
+                             weight_flush_interval=self.weight_flush_interval,
+                             telemetry=self.telemetry)
+        self.consensus.bind_tangle(self.tangle)
+        self.relay.reset_seen()
+        self.relay.mark_seen(genesis.tx_hash)
+        self.solidification = SolidificationBuffer()
+        self._parent_requests.clear()
+        self.credit_horizon = -float("inf")
+
+        if restore.snapshot is not None:
+            self.adopt_snapshot(restore.snapshot)
+        replayed = 0
+        for tx, arrival_time in restore.tail:
+            if self.replay_attach(tx, arrival_time=arrival_time):
+                replayed += 1
+        self.persistence = persistence
+        return replayed
 
     def _check_admission(self, tx: Transaction) -> Optional[str]:
         """Stateful admission policy for directly submitted transactions.
@@ -576,6 +684,8 @@ class FullNode(NetworkNode):
             self.stats.count_rejection(exc)
             return False, str(exc)
 
+        if self.persistence is not None:
+            self.persistence.record_transaction(tx, now)
         if tx.timestamp > self.credit_horizon:
             self.consensus.observe_attach(result)
         self._settle_parent_fetch(tx.tx_hash)

@@ -1,0 +1,46 @@
+"""Durable storage: append-only hash-chained logs, epoch snapshots,
+and the crash/restart differential harness that proves them correct.
+
+Layering (lowest first):
+
+* :mod:`repro.storage.errors` — exception hierarchy, dependency-free;
+* :mod:`repro.storage.store` — the :class:`Store` protocol with
+  in-memory, JSONL-file and SQLite backends, all hash-chain verified;
+* :mod:`repro.storage.checkpoint` — hash-chained
+  :class:`EpochSnapshot` checkpoints over full-node state;
+* :mod:`repro.storage.persistence` — :class:`NodePersistence`, the
+  journal/checkpoint/restore manager a full node journals through;
+* :mod:`repro.storage.differential` — the seeded crash/restart
+  differential (also the ``repro storage`` CLI command).
+"""
+
+from .checkpoint import EpochSnapshot, snapshot_state
+from .errors import StorageCorruptionError, StorageError
+from .persistence import NodePersistence, RestorePoint
+from .store import (
+    GENESIS_PREV_HASH,
+    FileStore,
+    LogRecord,
+    MemoryStore,
+    SQLiteStore,
+    Store,
+    canonical_json,
+    open_store,
+)
+
+__all__ = [
+    "GENESIS_PREV_HASH",
+    "canonical_json",
+    "LogRecord",
+    "Store",
+    "MemoryStore",
+    "FileStore",
+    "SQLiteStore",
+    "open_store",
+    "EpochSnapshot",
+    "snapshot_state",
+    "NodePersistence",
+    "RestorePoint",
+    "StorageError",
+    "StorageCorruptionError",
+]

@@ -1,0 +1,281 @@
+"""Crash/restart differential harness for the storage layer.
+
+The proof obligation of ISSUE 6: a node killed and restored from its
+durable store must be *byte-identical* — tangle, ledger, ACL and
+credit hashes — to a reference node that never crashed.  This module
+runs one seeded workload against both nodes side by side, cold-restores
+the durable node at randomized kill points, and compares content hashes
+at every kill and at the end of the run; a final "cold" node rebuilt
+from a reopened store on a brand-new process boundary closes the loop.
+
+Everything in the returned result dict is a pure function of
+``(seed, backend, steps, kills, checkpoints)`` — no paths, no wall
+clock — so CI can run the harness twice and byte-diff the JSON, the
+same determinism gate the chaos reports already pass.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.acl import AclAction, AuthorizationList
+from ..core.consensus import CreditBasedConsensus, InverseDifficultyPolicy
+from ..core.credit import CreditParameters, CreditRegistry
+from ..crypto.keys import KeyPair
+from ..faults.report import acl_hash, credit_hash, ledger_hash, tangle_hash
+from ..network.network import Network
+from ..network.simulator import EventScheduler
+from ..tangle.ledger import TransferPayload
+from ..tangle.transaction import Transaction, TransactionKind
+from .persistence import NodePersistence
+from .store import open_store
+
+__all__ = ["run_differential", "node_hashes"]
+
+TOKEN_GRANT = 500
+"""Initial balance of every transacting identity in the workload."""
+
+
+def node_hashes(node, *, now: float) -> Dict[str, str]:
+    """The four content hashes the differential compares."""
+    return {
+        "tangle": tangle_hash(node.tangle),
+        "ledger": ledger_hash(node.ledger),
+        "acl": acl_hash(node.acl),
+        "credit": credit_hash(node.consensus.registry, now=now),
+    }
+
+
+def _new_consensus(params: CreditParameters) -> CreditBasedConsensus:
+    return CreditBasedConsensus(
+        CreditRegistry(params),
+        policy=InverseDifficultyPolicy(initial_difficulty=1),
+        max_parent_age=params.delta_t,
+    )
+
+
+def run_differential(*, seed: int, storage_dir: str,
+                     backend: str = "file", steps: int = 60,
+                     kills: int = 3, checkpoints: int = 3) -> Dict:
+    """Run the crash/restart differential; returns a deterministic dict.
+
+    ``matched`` is True iff every kill-point restore and the final
+    three-way comparison (reference, restarted, cold-rebuilt) agree on
+    all four state hashes.
+    """
+    if steps < 20:
+        raise ValueError("differential workload needs at least 20 steps")
+    if kills < 1:
+        raise ValueError("at least one kill point is required")
+    if kills + checkpoints >= steps - 5:
+        raise ValueError("too many kill/checkpoint points for the workload")
+
+    # Imported lazily: repro.nodes pulls in the full node stack.
+    from ..nodes.full_node import FullNode
+    from ..nodes.manager import ManagerNode
+
+    rng = random.Random(f"storage-diff:{seed}")
+    params = CreditParameters()
+
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=random.Random(rng.randrange(2 ** 63)))
+
+    manager_keys = KeyPair.generate(seed=f"storage-diff:{seed}:manager".encode())
+    devices = [KeyPair.generate(seed=f"storage-diff:{seed}:device:{i}".encode())
+               for i in range(3)]
+    guests = [KeyPair.generate(seed=f"storage-diff:{seed}:guest:{i}".encode())
+              for i in range(2)]
+    genesis = ManagerNode.create_genesis(
+        manager_keys,
+        network_name=f"storage-diff-{seed}",
+        token_allocations=[(manager_keys.node_id, TOKEN_GRANT)]
+        + [(keys.node_id, TOKEN_GRANT) for keys in devices],
+    )
+
+    reference = FullNode("reference", genesis,
+                         consensus=_new_consensus(params),
+                         rng=random.Random(0), enforce_pow=True)
+    durable = FullNode("durable", genesis,
+                       consensus=_new_consensus(params),
+                       rng=random.Random(1), enforce_pow=True)
+    network.attach(reference)
+    network.attach(durable)
+    # No peering: the two replicas see the workload only through
+    # ``ingest_local``, so gossip cannot paper over a bad restore.
+
+    store = open_store(backend, storage_dir, node="durable")
+    persistence = NodePersistence(store)
+    durable.attach_persistence(persistence)
+
+    clock = scheduler.clock
+
+    def issue(keys: KeyPair, *, kind: str, payload: bytes,
+              branch: bytes, trunk: bytes) -> Tuple[bool, bool]:
+        now = clock.now()
+        difficulty = reference.consensus.required_difficulty(
+            keys.node_id, now)
+        tx = Transaction.create(
+            keys, kind=kind, payload=payload, timestamp=now,
+            branch=branch, trunk=trunk, difficulty=difficulty)
+        return reference.ingest_local(tx), durable.ingest_local(tx)
+
+    def pick_parents() -> Tuple[bytes, bytes]:
+        tips = reference.tangle.tips()
+        return rng.choice(tips), rng.choice(tips)
+
+    def acl_update(identities, *, action: str) -> Tuple[bool, bool]:
+        branch, trunk = pick_parents()
+        payload = AuthorizationList.make_update(identities, action=action)
+        return issue(manager_keys, kind=TransactionKind.ACL,
+                     payload=payload.to_bytes(), branch=branch, trunk=trunk)
+
+    # -- bootstrap: authorize every identity the workload uses -------------
+    scheduler.run_until(1.0)
+    ok_ref, ok_dur = acl_update(
+        [keys.public for keys in devices + guests],
+        action=AclAction.AUTHORIZE)
+    divergences: List[Dict] = []
+    if ok_ref is not ok_dur or not ok_ref:
+        divergences.append({"step": -1, "action": "bootstrap-acl",
+                            "reference": ok_ref, "durable": ok_dur})
+
+    body = list(range(5, steps))
+    kill_points = sorted(rng.sample(body, kills))
+    checkpoint_points = sorted(rng.sample(
+        [s for s in body if s not in kill_points], checkpoints))
+
+    guest_authorized = {keys.node_id: True for keys in guests}
+    last_transfer: Dict[bytes, Tuple[int, bytes, int]] = {}
+    accounts = [manager_keys] + devices
+    epoch_hashes: List[str] = []
+    kill_results: List[Dict] = []
+
+    for step in range(steps):
+        scheduler.run_until(clock.now() + rng.uniform(0.2, 1.2))
+        now = clock.now()
+        roll = rng.random()
+        action = "data"
+        if roll < 0.15:
+            action = "acl"
+        elif roll < 0.45:
+            action = "transfer"
+        elif roll < 0.55 and last_transfer:
+            action = "double-spend"
+        elif roll < 0.65 and now > params.delta_t + 5.0:
+            action = "lazy"
+
+        if action == "acl":
+            guest = rng.choice(guests)
+            authorized = guest_authorized[guest.node_id]
+            ok_ref, ok_dur = acl_update(
+                [guest.public],
+                action=AclAction.DEAUTHORIZE if authorized
+                else AclAction.AUTHORIZE)
+            guest_authorized[guest.node_id] = not authorized
+        elif action == "transfer":
+            sender = rng.choice(devices)
+            recipient = rng.choice(
+                [keys for keys in accounts
+                 if keys.node_id != sender.node_id])
+            amount = rng.randint(1, 20)
+            sequence = reference.ledger.next_sequence(sender.node_id)
+            payload = TransferPayload(
+                sender=sender.node_id, recipient=recipient.node_id,
+                amount=amount, sequence=sequence)
+            branch, trunk = pick_parents()
+            ok_ref, ok_dur = issue(
+                sender, kind=TransactionKind.TRANSFER,
+                payload=payload.to_bytes(), branch=branch, trunk=trunk)
+            if ok_ref:
+                last_transfer[sender.node_id] = (
+                    sequence, recipient.node_id, amount)
+        elif action == "double-spend":
+            sender_id = rng.choice(sorted(last_transfer))
+            sender = next(keys for keys in devices
+                          if keys.node_id == sender_id)
+            sequence, old_recipient, amount = last_transfer[sender_id]
+            recipient = rng.choice(
+                [keys for keys in accounts
+                 if keys.node_id not in (sender_id, old_recipient)])
+            payload = TransferPayload(
+                sender=sender_id, recipient=recipient.node_id,
+                amount=amount, sequence=sequence)
+            branch, trunk = pick_parents()
+            ok_ref, ok_dur = issue(
+                sender, kind=TransactionKind.TRANSFER,
+                payload=payload.to_bytes(), branch=branch, trunk=trunk)
+        elif action == "lazy":
+            device = rng.choice(devices)
+            ok_ref, ok_dur = issue(
+                device, kind=TransactionKind.DATA,
+                payload=rng.randbytes(16),
+                branch=genesis.tx_hash, trunk=genesis.tx_hash)
+        else:
+            device = rng.choice(devices)
+            branch, trunk = pick_parents()
+            ok_ref, ok_dur = issue(
+                device, kind=TransactionKind.DATA,
+                payload=rng.randbytes(16),
+                branch=branch, trunk=trunk)
+
+        if ok_ref is not ok_dur:
+            divergences.append({"step": step, "action": action,
+                                "reference": ok_ref, "durable": ok_dur})
+
+        if step in checkpoint_points:
+            epoch = persistence.checkpoint(durable, now=clock.now())
+            epoch_hashes.append(epoch.snapshot_hash)
+        if step in kill_points:
+            now = clock.now()
+            expected = node_hashes(reference, now=now)
+            replayed = durable.cold_restore()
+            restored = node_hashes(durable, now=now)
+            kill_results.append({
+                "step": step,
+                "replayed": replayed,
+                "matched": restored == expected,
+                "hashes": restored,
+            })
+
+    # -- final three-way comparison ----------------------------------------
+    now = clock.now()
+    final_reference = node_hashes(reference, now=now)
+    final_restarted = node_hashes(durable, now=now)
+    store.close()
+
+    reopened = open_store(backend, storage_dir, node="durable")
+    restore = NodePersistence(reopened).load()
+    cold = FullNode("cold", genesis, consensus=_new_consensus(params),
+                    rng=random.Random(2), enforce_pow=True)
+    if restore.snapshot is not None:
+        cold.adopt_snapshot(restore.snapshot)
+    cold_replayed = 0
+    for tx, arrival_time in restore.tail:
+        if cold.replay_attach(tx, arrival_time=arrival_time):
+            cold_replayed += 1
+    final_cold = node_hashes(cold, now=now)
+    head_hash = reopened.head_hash
+    record_count = len(reopened)
+    reopened.close()
+
+    matched = (not divergences
+               and all(kill["matched"] for kill in kill_results)
+               and final_reference == final_restarted == final_cold)
+    return {
+        "seed": seed,
+        "backend": backend,
+        "steps": steps,
+        "kill_points": kill_points,
+        "checkpoint_points": checkpoint_points,
+        "kills": kill_results,
+        "divergences": divergences,
+        "final": {
+            "reference": final_reference,
+            "restarted": final_restarted,
+            "cold": {"hashes": final_cold, "replayed": cold_replayed},
+        },
+        "epoch_hashes": epoch_hashes,
+        "log": {"head": head_hash, "records": record_count},
+        "matched": matched,
+    }

@@ -1,0 +1,25 @@
+"""Storage-layer exceptions.
+
+Kept dependency-free so every layer (core config validation, the fault
+injector, the node restore path) can raise and catch them without
+import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StorageError", "StorageCorruptionError"]
+
+
+class StorageError(RuntimeError):
+    """A storage operation could not be carried out (misconfiguration,
+    genesis mismatch, restoring a node that has no durable store)."""
+
+
+class StorageCorruptionError(StorageError):
+    """The on-disk log or a snapshot failed hash-chain verification.
+
+    Raised at *load* time: a corrupted store must be refused outright,
+    never partially restored — a gateway silently resurrecting from
+    damaged history is exactly the failure mode the hash chain exists
+    to prevent.
+    """

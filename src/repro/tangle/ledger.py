@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .errors import (
     DoubleSpendError,
@@ -306,11 +306,37 @@ class TokenLedger:
             },
         }
 
+    def rehydrate(self, transactions: Iterable[Transaction]) -> int:
+        """Repopulate reversal payloads from retained transfers.
+
+        :meth:`import_state` cannot carry the ``_applied`` payload map
+        (the export format is balances + spent slots only), so a
+        restored ledger would be unable to *reverse* a pre-restore
+        incumbent when a lower-hash challenger arrives afterwards —
+        conflict arbitration spanning the restore boundary would crash
+        instead of replaying identically.  Snapshot adopters call this
+        with the retained transactions; each transfer that still owns
+        its (sender, sequence) slot gets its payload re-decoded.
+        Returns how many payloads were rehydrated.
+        """
+        count = 0
+        for tx in transactions:
+            if tx.kind != TransactionKind.TRANSFER:
+                continue
+            payload = self.decode(tx)
+            if self._spent.get(payload.sender, {}).get(payload.sequence) \
+                    == tx.tx_hash:
+                self._applied[tx.tx_hash] = payload
+                count += 1
+        return count
+
     def import_state(self, state: Dict[str, object]) -> None:
         """Restore :meth:`export_state` output (replaces current state).
 
-        Conflict records and reversal payloads are not carried: a
-        restored node arbitrates only conflicts it sees from then on.
+        Conflict records are not carried: a restored node arbitrates
+        only conflicts it sees from then on.  Reversal payloads are
+        rebuilt separately via :meth:`rehydrate` from the retained
+        tangle region.
         """
         try:
             balances = {

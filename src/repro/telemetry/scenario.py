@@ -21,6 +21,10 @@ drive all five instrumented subsystems:
   against a crashed-then-restarted device (driving the retry attempt/
   backoff/recovery counters) plus one against a permanently dead
   device (driving exhaustion).
+* **storage** — a journalling probe: a gateway's history is journalled
+  to an instrumented store, checkpointed (with pruning), extended, and
+  loaded back, driving every ``repro_storage_*`` write/flush/replay
+  counter.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
     system.run_for(seconds / 2)
 
     _run_recovery_probe(system)
+    _run_storage_probe(system)
 
     # Reporting reads: consecutive calls hit the rebuild branch first,
     # then the cached branch, covering both cache counters.
@@ -117,3 +122,33 @@ def _run_recovery_probe(system) -> None:
     system.manager.distribute_key(casualty.address, casualty.keypair.public)
     system.run_for(40.0)
     network.bring_up(casualty.address)
+
+
+def _run_storage_probe(system) -> None:
+    """Drive the ``repro_storage_*`` instruments deterministically.
+
+    The smoke deployment runs the in-memory backend (so the main run is
+    storage-free, as in production defaults); this probe journals one
+    gateway's history to a separate instrumented store, checkpoints it
+    with pruning, journals a short tail, and loads the restore point —
+    touching every append/flush/prune/checkpoint/replay/restore
+    counter without disturbing the live system.
+    """
+    from ..storage.persistence import NodePersistence
+    from ..storage.store import MemoryStore
+
+    gateway = system.gateways[0]
+    store = MemoryStore(telemetry=system.telemetry)
+    persistence = NodePersistence(store, telemetry=system.telemetry)
+    persistence.initialize(gateway.tangle.genesis)
+    transactions = [tx for tx in gateway.tangle if not tx.is_genesis]
+    for tx in transactions[:-2]:
+        persistence.record_transaction(
+            tx, gateway.tangle.arrival_time(tx.tx_hash))
+    now = system.scheduler.clock.now()
+    persistence.checkpoint(gateway, now=now, keep_recent_seconds=30.0,
+                           min_weight_to_prune=2)
+    for tx in transactions[-2:]:
+        persistence.record_transaction(
+            tx, gateway.tangle.arrival_time(tx.tx_hash))
+    persistence.load()

@@ -6,7 +6,8 @@ import pytest
 
 from repro.faults.scenarios import SCENARIOS, get_scenario, run_scenario
 
-CAMPAIGNS = ["partition-heal", "churn", "lossy-burst", "skewed-clock"]
+CAMPAIGNS = ["partition-heal", "churn", "churn-durable", "lossy-burst",
+             "skewed-clock"]
 SEEDS = [7, 19, 42]
 
 
@@ -41,7 +42,7 @@ class TestConvergence:
         not merely survive by luck of timing."""
         report = run_scenario(name, seed=7)
         counters = report.counters
-        if name in ("partition-heal", "churn"):
+        if name in ("partition-heal", "churn", "churn-durable"):
             # Messages died at downed radios / cut links, and post-heal
             # anti-entropy repaired the holes.
             assert (counters["messages_dropped"] > 0
