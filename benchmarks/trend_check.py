@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Benchmark trend check: diff fresh BENCH_*.json against baselines.
+
+Benchmarks measure; this script remembers.  ``benchmarks/baselines/``
+holds committed copies of the machine-readable benchmark reports
+(``BENCH_hotpath.json``, ``BENCH_tangle_scale.json``); after a run
+writes fresh reports into ``benchmarks/out/``, this script walks both
+trees and compares every *throughput-like* numeric leaf — keys ending
+in ``_per_s`` and ``speedup`` fields, where higher is better — and
+flags any that regressed by more than the threshold (default 20%).
+
+CI numbers are noisy (shared runners, differing CPUs), so a regression
+is a **warning** by default: the script prints the offending metrics
+and exits 0.  Pass ``--strict`` to turn warnings into a non-zero exit
+for environments stable enough to gate on.
+
+Usage::
+
+    python benchmarks/trend_check.py
+    python benchmarks/trend_check.py --current benchmarks/out \
+        --baseline benchmarks/baselines --threshold 0.2 --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+#: A leaf counts as throughput-like (higher is better) when its key
+#: ends with one of these suffixes.
+THROUGHPUT_SUFFIXES = ("_per_s", "speedup")
+
+
+def throughput_leaves(value, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every throughput-like leaf."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            child = f"{path}.{key}" if path else key
+            yield from throughput_leaves(value[key], child)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf.endswith(THROUGHPUT_SUFFIXES):
+            yield path, float(value)
+
+
+def compare(baseline: Dict, current: Dict,
+            threshold: float) -> Tuple[List[str], List[str]]:
+    """Return (regressions, notes) comparing throughput leaves."""
+    base = dict(throughput_leaves(baseline))
+    cur = dict(throughput_leaves(current))
+    regressions: List[str] = []
+    notes: List[str] = []
+    for path in sorted(base):
+        if path not in cur:
+            notes.append(f"missing in current run: {path}")
+            continue
+        reference, measured = base[path], cur[path]
+        if reference <= 0:
+            continue
+        delta = (measured - reference) / reference
+        line = (f"{path}: {measured:.6g} vs baseline {reference:.6g} "
+                f"({delta:+.1%})")
+        if delta < -threshold:
+            regressions.append(line)
+        elif delta > threshold:
+            notes.append(f"improved {line}")
+    for path in sorted(set(cur) - set(base)):
+        notes.append(f"new metric (no baseline): {path}")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="warn when benchmark throughput regresses vs baselines")
+    parser.add_argument("--baseline", default="benchmarks/baselines",
+                        help="directory of committed BENCH_*.json baselines")
+    parser.add_argument("--current", default="benchmarks/out",
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative slowdown that counts as a "
+                             "regression (0.20 = 20%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on regression (default: warn)")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.baseline):
+        print(f"trend-check: no baseline directory {args.baseline!r}; "
+              f"nothing to compare", file=sys.stderr)
+        return 0
+
+    regressions: List[str] = []
+    compared = 0
+    for name in sorted(os.listdir(args.baseline)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        current_path = os.path.join(args.current, name)
+        if not os.path.exists(current_path):
+            print(f"trend-check: {name}: no current report "
+                  f"(benchmark not run) — skipped")
+            continue
+        with open(os.path.join(args.baseline, name)) as handle:
+            baseline = json.load(handle)
+        with open(current_path) as handle:
+            current = json.load(handle)
+        if current.get("smoke"):
+            # Smoke-mode reports use shrunk workloads; their absolute
+            # throughput is not comparable to full-run baselines.
+            print(f"trend-check: {name}: current report is smoke-mode "
+                  f"— skipped")
+            continue
+        compared += 1
+        found, notes = compare(baseline, current, args.threshold)
+        for note in notes:
+            print(f"trend-check: {name}: {note}")
+        for line in found:
+            print(f"trend-check: {name}: REGRESSION {line}")
+        regressions.extend(found)
+
+    if not regressions:
+        print(f"trend-check: OK ({compared} report(s) compared, "
+              f"threshold {args.threshold:.0%})")
+        return 0
+    print(f"trend-check: {len(regressions)} throughput metric(s) "
+          f"regressed more than {args.threshold:.0%}"
+          + ("" if args.strict else " (warning only; use --strict to fail)"),
+          file=sys.stderr)
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig10 --max-exponent 18
     python -m repro summary
     python -m repro telemetry --scenario smoke --require-all
+    python -m repro trace --scenario smoke --seed 7
     python -m repro chaos --scenario partition-heal --seed 7
     python -m repro storage --seed 7 --backend file
 
@@ -93,6 +94,22 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--require-all", action="store_true",
                            help="fail if any registered metric was "
                                 "never emitted during the scenario")
+
+    trace = sub.add_parser(
+        "trace", help="run the byte-deterministic causal-tracing "
+                      "scenario and dump Chrome-trace / lifecycle "
+                      "artifacts")
+    trace.add_argument("--scenario", choices=["smoke"], default="smoke")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--seconds", type=float, default=20.0,
+                       help="submission phase duration (simulated)")
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="sample every Nth submission round per "
+                            "device (1 = every round)")
+    trace.add_argument("--out-dir", type=str,
+                       default="benchmarks/out/trace",
+                       help="directory for trace.json, lifecycle.json "
+                            "and lifecycle.txt")
 
     chaos = sub.add_parser(
         "chaos", help="run a canned fault-injection campaign and print "
@@ -253,6 +270,43 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+    import os
+
+    from .telemetry.scenario import run_trace_scenario
+    from .telemetry.trace_export import (
+        chrome_trace_json,
+        lifecycle_report,
+        render_lifecycle_text,
+    )
+
+    system = run_trace_scenario(seed=args.seed, seconds=args.seconds,
+                                sample_every=args.sample_every)
+    lifecycle = system.lifecycle
+    node_count = len(system.full_nodes)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    trace_path = os.path.join(args.out_dir, "trace.json")
+    report_path = os.path.join(args.out_dir, "lifecycle.json")
+    text_path = os.path.join(args.out_dir, "lifecycle.txt")
+    with open(trace_path, "w") as handle:
+        handle.write(chrome_trace_json(system.tracer, lifecycle) + "\n")
+    report = lifecycle_report(lifecycle, node_count=node_count)
+    with open(report_path, "w") as handle:
+        handle.write(json.dumps(report, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    text = render_lifecycle_text(lifecycle, node_count=node_count)
+    with open(text_path, "w") as handle:
+        handle.write(text)
+
+    print(text)
+    print(f"chrome trace -> {trace_path}  (open at https://ui.perfetto.dev)")
+    print(f"lifecycle report -> {report_path}")
+    print(f"lifecycle text -> {text_path}")
+    return 0 if report["delivered"] else 1
+
+
 def _cmd_chaos(args) -> int:
     from .faults.scenarios import SCENARIOS, run_scenario
 
@@ -306,6 +360,7 @@ _COMMANDS = {
     "summary": _cmd_summary,
     "report": _cmd_report,
     "telemetry": _cmd_telemetry,
+    "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "storage": _cmd_storage,
 }

@@ -34,6 +34,7 @@ from ..network.network import Network
 from ..network.simulator import EventScheduler
 from ..network.transport import BACKBONE_LINK, WIRELESS_SENSOR_LINK, LatencyModel
 from ..tangle.tip_selection import TipSelector, WeightedRandomWalkSelector
+from ..telemetry.lifecycle import NULL_LIFECYCLE, LifecycleTracker
 from ..telemetry.registry import NULL_REGISTRY, MetricsRegistry
 from ..telemetry.tracer import NULL_TRACER, Tracer
 
@@ -99,6 +100,7 @@ class BIoTConfig:
     token_allocation: int = 1000
     retry_policy: Optional[BackoffPolicy] = None
     telemetry: bool = False
+    trace_sample_every: int = 1
     storage_backend: str = "memory"
     storage_dir: Optional[str] = None
 
@@ -107,6 +109,8 @@ class BIoTConfig:
             raise ValueError("need at least one gateway")
         if self.device_count < 1:
             raise ValueError("need at least one device")
+        if self.trace_sample_every < 1:
+            raise ValueError("trace_sample_every must be >= 1")
         for sensor_type in self.sensor_cycle:
             if sensor_type not in SENSOR_TYPES:
                 raise ValueError(f"unknown sensor type {sensor_type!r}")
@@ -124,7 +128,8 @@ class BIoTSystem:
                  gateways: List[FullNode], devices: List[LightNode],
                  device_keys: Dict[str, KeyPair],
                  gateway_keys: Dict[str, KeyPair],
-                 telemetry=NULL_REGISTRY, tracer=NULL_TRACER):
+                 telemetry=NULL_REGISTRY, tracer=NULL_TRACER,
+                 lifecycle=NULL_LIFECYCLE):
         self.config = config
         self.scheduler = scheduler
         self.network = network
@@ -135,6 +140,7 @@ class BIoTSystem:
         self.gateway_keys = gateway_keys
         self.telemetry = telemetry
         self.tracer = tracer
+        self.lifecycle = lifecycle
         self.initialized = False
 
     # -- construction ------------------------------------------------------
@@ -153,13 +159,23 @@ class BIoTSystem:
         if config.telemetry:
             telemetry = MetricsRegistry(scheduler.clock)
             tracer = Tracer(scheduler.clock)
+            lifecycle = LifecycleTracker(
+                scheduler.clock, tracer=tracer, registry=telemetry,
+                sample_every=config.trace_sample_every)
+            # Causal propagation across deferred callbacks: the
+            # scheduler captures the ambient trace context at schedule
+            # time and restores it around execution.  With telemetry
+            # off the binder stays None and step() takes the bare path.
+            scheduler.trace_binder = tracer
         else:
             telemetry = NULL_REGISTRY
             tracer = NULL_TRACER
+            lifecycle = NULL_LIFECYCLE
         network = Network(
             scheduler,
             rng=random.Random(master.randrange(2 ** 63)),
             telemetry=telemetry,
+            tracer=tracer,
         )
 
         # One verification cache and one decode cache for the whole
@@ -215,6 +231,7 @@ class BIoTSystem:
             verification_cache=verification_cache,
             decode_cache=decode_cache,
             telemetry=telemetry,
+            lifecycle=lifecycle,
         )
         network.attach(manager)
 
@@ -236,6 +253,7 @@ class BIoTSystem:
                 verification_cache=verification_cache,
                 decode_cache=decode_cache,
                 telemetry=telemetry,
+                lifecycle=lifecycle,
             )
             network.attach(gateway)
             gateways.append(gateway)
@@ -284,6 +302,7 @@ class BIoTSystem:
                 report_interval=config.report_interval,
                 rng=random.Random(master.randrange(2 ** 63)),
                 telemetry=telemetry,
+                lifecycle=lifecycle,
             )
             network.attach(device)
             network.set_link(address, gateway.address, config.wireless_link)
@@ -301,6 +320,7 @@ class BIoTSystem:
             gateway_keys=gateway_keys,
             telemetry=telemetry,
             tracer=tracer,
+            lifecycle=lifecycle,
         )
 
     @property

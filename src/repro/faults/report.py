@@ -105,8 +105,10 @@ class ConvergenceReport:
     converged: bool
     sync_rounds_used: int
     duration: float
+    recovery_seconds: float = 0.0
     node_hashes: Dict[str, Dict[str, str]] = field(default_factory=dict)
     tangle_sizes: Dict[str, int] = field(default_factory=dict)
+    node_health: Dict[str, Dict[str, object]] = field(default_factory=dict)
     plan: List[Dict[str, object]] = field(default_factory=list)
     injections: List[Tuple[float, str, str]] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
@@ -115,6 +117,7 @@ class ConvergenceReport:
     @classmethod
     def from_nodes(cls, *, scenario: str, seed: int, nodes,
                    sync_rounds_used: int, duration: float,
+                   recovery_seconds: float = 0.0,
                    plan=None, injections=(), counters=None,
                    notes=()) -> "ConvergenceReport":
         """Build the report (and the verdict) from live full nodes."""
@@ -130,8 +133,11 @@ class ConvergenceReport:
             converged=converged,
             sync_rounds_used=sync_rounds_used,
             duration=duration,
+            recovery_seconds=recovery_seconds,
             node_hashes=node_hashes,
             tangle_sizes={node.address: len(node.tangle) for node in nodes},
+            node_health={node.address: node.health_digest()
+                         for node in nodes},
             plan=list(plan) if plan is not None else [],
             injections=[list(entry) for entry in injections],
             counters=dict(counters or {}),
@@ -152,8 +158,10 @@ class ConvergenceReport:
             "converged": self.converged,
             "sync_rounds_used": self.sync_rounds_used,
             "duration": self.duration,
+            "recovery_seconds": self.recovery_seconds,
             "node_hashes": self.node_hashes,
             "tangle_sizes": self.tangle_sizes,
+            "node_health": self.node_health,
             "plan": self.plan,
             "injections": self.injections,
             "counters": self.counters,

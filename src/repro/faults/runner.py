@@ -115,7 +115,9 @@ class ChaosRunner:
         # Phase 3: converge.  Hashes are checked BEFORE any sync round
         # — a fault-free run must reconcile in zero rounds with zero
         # recovery traffic (the null-path equivalence property).
+        converge_start = system.scheduler.clock.now()
         rounds_used, converged = self._converge(system)
+        recovery_seconds = system.scheduler.clock.now() - converge_start
 
         notes: List[str] = []
         if not converged:
@@ -127,6 +129,7 @@ class ChaosRunner:
             nodes=system.full_nodes,
             sync_rounds_used=rounds_used,
             duration=system.scheduler.clock.now() - start_time,
+            recovery_seconds=recovery_seconds,
             plan=plan.describe(),
             injections=injector.injection_log,
             counters=self._counters(system, injector),

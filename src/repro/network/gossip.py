@@ -134,6 +134,9 @@ class SolidificationBuffer(Generic[ItemT]):
         # dependency id -> parked item ids waiting on it
         self._waiters: Dict[bytes, Set[bytes]] = defaultdict(set)
         self.evictions = 0
+        # High-water mark of parked items — health-digest material: a
+        # deep buffer means the node spent the run waiting on parents.
+        self.depth_peak = 0
 
     def __len__(self) -> int:
         return len(self._parked)
@@ -151,6 +154,8 @@ class SolidificationBuffer(Generic[ItemT]):
         if len(self._parked) >= self.capacity:
             self._evict_oldest()
         self._parked[item_id] = (item, missing_set)
+        if len(self._parked) > self.depth_peak:
+            self.depth_peak = len(self._parked)
         for dependency in missing_set:
             self._waiters[dependency].add(item_id)
 

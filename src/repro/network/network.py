@@ -13,6 +13,7 @@ import random
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..telemetry.registry import SECONDS_BUCKETS, coerce_registry
+from ..telemetry.tracer import NULL_TRACER
 from .simulator import EventScheduler
 from .transport import LOCAL_LINK, LatencyModel, LinkOverlay, Message
 
@@ -102,12 +103,17 @@ class Network:
         telemetry: a :class:`~repro.telemetry.MetricsRegistry` for the
             ``repro_network_*`` metrics (sent/delivered/dropped message
             counts by kind, delivery latency distribution).
+        tracer: a :class:`~repro.telemetry.Tracer` for causal-context
+            propagation — the sender's ambient context is stamped onto
+            each :class:`Message` as envelope metadata and restored
+            around the delivery callback.  Defaults to the null tracer
+            (no capture, no restore).
     """
 
     def __init__(self, scheduler: EventScheduler, *,
                  default_link: LatencyModel = LOCAL_LINK,
                  rng: Optional[random.Random] = None,
-                 telemetry=None):
+                 telemetry=None, tracer=None):
         self.scheduler = scheduler
         self.default_link = default_link
         self._rng = rng if rng is not None else random.Random()
@@ -132,6 +138,7 @@ class Network:
         self.messages_purged = 0
         self.messages_duplicated = 0
         self._taps: List[Callable[[Message], None]] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.telemetry = coerce_registry(telemetry)
         self._m_sent = self.telemetry.counter(
             "repro_network_messages_sent_total",
@@ -317,6 +324,7 @@ class Network:
             body=body,
             sent_at=self.scheduler.clock.now(),
             size_bytes=size_bytes,
+            trace=self.tracer.current,
         )
         self._schedule_delivery(message, delay)
         if duplicate:
@@ -378,6 +386,15 @@ class Network:
         self._m_delivered.inc(kind=message.kind)
         self._m_latency.observe(
             self.scheduler.clock.now() - message.sent_at)
+        if message.trace is not None:
+            # Restore the sender's causal context around the handler so
+            # spans opened (and messages re-sent) inside it chain onto
+            # the originating trace.
+            with self.tracer.activate(message.trace):
+                for tap in self._taps:
+                    tap(message)
+                node._deliver(message)
+            return
         for tap in self._taps:
             tap(message)
         node._deliver(message)

@@ -1,10 +1,13 @@
 """Discrete-event simulation core.
 
 All multi-node experiments run on this scheduler: events are
-(time, sequence, callback) triples on a heap, executed in timestamp
-order against a shared :class:`~repro.devices.clock.SimulatedClock`.
-Determinism is guaranteed by the monotonically increasing sequence
-number that breaks timestamp ties in insertion order.
+(time, sequence, callback, trace-context) entries on a heap, executed
+in timestamp order against a shared
+:class:`~repro.devices.clock.SimulatedClock`.  Determinism is
+guaranteed by the monotonically increasing sequence number that breaks
+timestamp ties in insertion order; the trace-context slot (populated
+only when a ``trace_binder`` is installed) never participates in
+ordering.
 """
 
 from __future__ import annotations
@@ -31,8 +34,15 @@ class EventScheduler:
 
     def __init__(self, clock: Optional[SimulatedClock] = None):
         self.clock = clock if clock is not None else SimulatedClock()
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable[[], None], object]] = []
         self._sequence = 0
+        # Optional causal-trace hook (a Tracer): when set, the ambient
+        # trace context is captured at schedule time and restored around
+        # the callback, so causality survives deferred execution.  The
+        # heap still orders on (timestamp, event_id) alone — the context
+        # slot never participates in comparisons and never changes
+        # execution order.
+        self.trace_binder = None
         self._cancelled: set = set()
         # Ids currently sitting in the queue (not fired, not cancelled).
         # Guarding cancel() with it keeps `_cancelled` from accumulating
@@ -58,7 +68,9 @@ class EventScheduler:
             )
         event_id = self._sequence
         self._sequence += 1
-        heapq.heappush(self._queue, (timestamp, event_id, callback))
+        binder = self.trace_binder
+        context = binder.capture() if binder is not None else None
+        heapq.heappush(self._queue, (timestamp, event_id, callback, context))
         self._alive.add(event_id)
         return event_id
 
@@ -86,7 +98,7 @@ class EventScheduler:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next event, or None when idle."""
         while self._queue and self._queue[0][1] in self._cancelled:
-            _, event_id, _ = heapq.heappop(self._queue)
+            _, event_id, _, _ = heapq.heappop(self._queue)
             self._cancelled.discard(event_id)
         if not self._queue:
             return None
@@ -97,11 +109,19 @@ class EventScheduler:
         next_time = self.peek_time()
         if next_time is None:
             return False
-        timestamp, event_id, callback = heapq.heappop(self._queue)
+        timestamp, event_id, callback, context = heapq.heappop(self._queue)
         self._alive.discard(event_id)
         self.clock.advance_to(timestamp)
         self.events_executed += 1
-        callback()
+        binder = self.trace_binder
+        if binder is None:
+            callback()
+        else:
+            # Restore the schedule-time context (None clears any stale
+            # ambient context): every callback runs under exactly the
+            # causal context it was scheduled from.
+            with binder.activate(context):
+                callback()
         return True
 
     def run(self, *, max_events: Optional[int] = None) -> int:

@@ -30,6 +30,12 @@ class Message:
 
     ``body`` is any Python object (transactions, protocol records);
     ``size_bytes`` drives transmission-delay accounting where relevant.
+
+    ``trace`` is *out-of-band envelope metadata*: the sender's ambient
+    :class:`~repro.telemetry.tracer.TraceContext`, stamped by
+    :meth:`Network.send` and restored around delivery.  It never enters
+    a wire encoding (``body`` and the codecs are untouched), so golden
+    wire-format pins are unaffected; it is excluded from equality.
     """
 
     sender: str
@@ -39,6 +45,7 @@ class Message:
     sent_at: float
     size_bytes: int = 0
     message_id: int = field(default_factory=lambda: _next_message_id())
+    trace: Any = field(default=None, compare=False)
 
     def __repr__(self) -> str:
         return (

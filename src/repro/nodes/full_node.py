@@ -46,6 +46,7 @@ from ..tangle.errors import (
 )
 from ..tangle.ledger import TokenLedger
 from ..tangle.tangle import DEFAULT_WEIGHT_FLUSH_INTERVAL, Tangle
+from ..telemetry.lifecycle import coerce_lifecycle
 from ..telemetry.registry import SECONDS_BUCKETS, coerce_registry
 from ..tangle.tip_selection import TipSelector, UniformRandomTipSelector
 from ..tangle.transaction import (
@@ -130,6 +131,11 @@ class FullNode(NetworkNode):
             across the deployment; threaded into this node's tangle,
             gossip relay and solidification accounting.  ``None`` keeps
             the zero-overhead null registry.
+        lifecycle: a :class:`~repro.telemetry.lifecycle.LifecycleTracker`
+            shared across the deployment; the ingest path records
+            per-node lifecycle stages (received/verified/attached/…)
+            and opens causal hop spans for sampled transactions.
+            ``None`` keeps the zero-overhead null tracker.
     """
 
     def __init__(self, address: str, genesis: Transaction, *,
@@ -143,9 +149,10 @@ class FullNode(NetworkNode):
                  weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL,
                  verification_cache: Optional[VerificationCache] = None,
                  decode_cache: Optional[TransactionDecodeCache] = None,
-                 telemetry=None):
+                 telemetry=None, lifecycle=None):
         super().__init__(address)
         self.telemetry = coerce_registry(telemetry)
+        self.lifecycle = coerce_lifecycle(lifecycle)
         self.retry_policy = retry_policy if retry_policy is not None \
             else DEFAULT_BACKOFF
         self.quality_monitor = quality_monitor
@@ -668,6 +675,7 @@ class FullNode(NetworkNode):
             if admission_error is not None:
                 return False, admission_error
         now = self._now()
+        self.lifecycle.record(tx.tx_hash, "received", self.address)
         try:
             result = self.tangle.attach(tx, arrival_time=now)
         except UnknownParentError:
@@ -684,17 +692,29 @@ class FullNode(NetworkNode):
             self.stats.count_rejection(exc)
             return False, str(exc)
 
-        if self.persistence is not None:
-            self.persistence.record_transaction(tx, now)
-        if tx.timestamp > self.credit_horizon:
-            self.consensus.observe_attach(result)
-        self._settle_parent_fetch(tx.tx_hash)
-        error = self._apply_side_effects(tx, now)
-        self.relay.mark_seen(tx.tx_hash)
-        if source is not None:
-            self.stats.gossip_accepted += 1
-        self._flood(tx, exclude=source)
-        self._release_solid_children(tx)
+        # Attach success implies the stateless validators (signature +
+        # PoW) all passed — "verified" and "attached" are one event on
+        # this code path, recorded as two stages for the timeline.
+        self.lifecycle.record(tx.tx_hash, "verified", self.address)
+        self.lifecycle.record(tx.tx_hash, "attached", self.address)
+        # For sampled transactions the whole post-attach tail (side
+        # effects, flood, solid-child releases) runs under a tx.ingest
+        # hop span, so downstream gossip chains onto this node causally.
+        with self.lifecycle.ingest(tx.tx_hash, node=self.address,
+                                   source=source):
+            if self.persistence is not None:
+                self.persistence.record_transaction(tx, now)
+            if tx.timestamp > self.credit_horizon:
+                self.consensus.observe_attach(result)
+                self.lifecycle.record(tx.tx_hash, "credit_observed",
+                                      self.address)
+            self._settle_parent_fetch(tx.tx_hash)
+            error = self._apply_side_effects(tx, now)
+            self.relay.mark_seen(tx.tx_hash)
+            if source is not None:
+                self.stats.gossip_accepted += 1
+            self._flood(tx, exclude=source)
+            self._release_solid_children(tx)
         if error is not None:
             return False, error
         return True, None
@@ -751,10 +771,53 @@ class FullNode(NetworkNode):
                       size_bytes=len(encoded))
 
     def _release_solid_children(self, tx: Transaction) -> None:
-        for _, (parked_tx, admit) in self.solidification.satisfy(tx.tx_hash):
+        for child_hash, (parked_tx, admit) in \
+                self.solidification.satisfy(tx.tx_hash):
+            self.lifecycle.record(child_hash, "solidified", self.address)
             self._ingest(parked_tx, source=None, admit=admit)
 
     # -- convenience -----------------------------------------------------
+
+    def health_digest(self) -> Dict[str, object]:
+        """Deterministic per-node health snapshot for convergence
+        reports: solidification pressure, recovery backlog, gossip and
+        cache effectiveness.  Uses only plain simulation state (no
+        telemetry), so it is byte-identical run to run with telemetry
+        on or off.  The cache blocks reflect the *deployment-shared*
+        caches when those are wired (see ``BIoTSystem.build``)."""
+        digest: Dict[str, object] = {
+            "tangle_size": len(self.tangle),
+            "tips": self.tangle.tip_count,
+            "solidification_depth": len(self.solidification),
+            "solidification_peak": self.solidification.depth_peak,
+            "solidification_evictions": self.solidification.evictions,
+            "pending_parent_requests": len(self._parent_requests),
+            "parent_fetch_recoveries": self.stats.parent_fetch_recoveries,
+            "parent_fetch_exhausted": self.stats.parent_fetch_exhausted,
+            "gossip_seen": self.relay.seen_count,
+            "gossip_relays": self.relay.relays,
+            "gossip_duplicates": self.relay.duplicates_suppressed,
+            "malformed_messages": self.stats.malformed_messages,
+        }
+        if self.verification_cache is not None:
+            cache = self.verification_cache
+            total = cache.hits + cache.misses
+            digest["verify_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hits / total if total else 0.0,
+                "evictions": cache.evictions,
+            }
+        if self.decode_cache is not None:
+            cache = self.decode_cache
+            total = cache.hits + cache.misses
+            digest["decode_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hits / total if total else 0.0,
+                "evictions": cache.evictions,
+            }
+        return digest
 
     @property
     def tangle_size(self) -> int:

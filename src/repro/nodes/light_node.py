@@ -36,6 +36,7 @@ from ..network.network import NetworkNode
 from ..network.transport import Message
 from ..pow.engine import PowEngine
 from ..tangle.transaction import Transaction, TransactionKind
+from ..telemetry.lifecycle import coerce_lifecycle
 from ..telemetry.registry import coerce_registry
 
 __all__ = ["LightNode", "LightNodeStats"]
@@ -94,6 +95,10 @@ class LightNode(NetworkNode):
         telemetry: a :class:`~repro.telemetry.MetricsRegistry` shared
             across the deployment (PoW engine metrics, key-install
             counts).  ``None`` keeps the zero-overhead null registry.
+        lifecycle: a :class:`~repro.telemetry.lifecycle.LifecycleTracker`
+            shared across the deployment; submit rounds it samples get
+            a causal trace root and per-stage timeline.  ``None`` keeps
+            the zero-overhead null tracker.
     """
 
     def __init__(self, address: str, keypair: KeyPair, *, gateway: str,
@@ -104,7 +109,7 @@ class LightNode(NetworkNode):
                  protect_group: str = "sensitive",
                  request_timeout: float = 10.0,
                  batch_size: int = 1,
-                 telemetry=None):
+                 telemetry=None, lifecycle=None):
         super().__init__(address)
         if report_interval <= 0:
             raise ValueError("report_interval must be positive")
@@ -127,6 +132,7 @@ class LightNode(NetworkNode):
         self.protector = DataProtector()
         self.stats = LightNodeStats()
         self.telemetry = coerce_registry(telemetry)
+        self.lifecycle = coerce_lifecycle(lifecycle)
         self._m_keys_installed = self.telemetry.counter(
             "repro_keydist_keys_installed_total",
             "Group keys installed on devices (M3 verified)")
@@ -207,6 +213,8 @@ class LightNode(NetworkNode):
         self._pending[request_id] = {
             "payload": payload,
             "tick_started": self._now(),
+            # None for unsampled rounds; the tracker's handle otherwise.
+            "trace": self.lifecycle.begin_submission(self.address),
         }
         sent = self.send(self.gateway, "get_tips_request", {
             "request_id": request_id,
@@ -260,6 +268,8 @@ class LightNode(NetworkNode):
     def _build_and_submit(self, context: Dict, *, branch: bytes,
                           trunk: bytes, difficulty: int) -> None:
         """Grind PoW (as scheduled compute) then sign and submit."""
+        self.lifecycle.record_handle(context.get("trace"), "tips_received",
+                                     self.address)
         draft = Transaction(
             kind=TransactionKind.DATA,
             issuer=self.keypair.public,
@@ -289,14 +299,24 @@ class LightNode(NetworkNode):
                 difficulty=draft.difficulty,
                 nonce=result.proof.nonce,
             )
+            handle = context.get("trace")
+            # Bind now (after the modelled compute delay): this is the
+            # sim-time at which the PoW is actually solved.
+            self.lifecycle.bind(handle, tx.tx_hash,
+                                difficulty=draft.difficulty,
+                                pow_seconds=result.elapsed_seconds)
             request_id = self._next_request_id()
             self._pending[request_id] = context
             encoded = tx.to_bytes()
             self.stats.submissions_sent += 1
-            sent = self.send(self.gateway, "submit_transaction", {
-                "request_id": request_id,
-                "transaction": encoded,
-            }, size_bytes=len(encoded))
+            # Send under the trace root so the submit hop (and every
+            # relay after it) chains onto this transaction's trace.
+            root_context = handle.context if handle is not None else None
+            with self.lifecycle.tracer.activate(root_context):
+                sent = self.send(self.gateway, "submit_transaction", {
+                    "request_id": request_id,
+                    "transaction": encoded,
+                }, size_bytes=len(encoded))
             if not sent:
                 self._pending.pop(request_id, None)
                 self._schedule_next_tick()

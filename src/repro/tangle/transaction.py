@@ -344,6 +344,10 @@ class TransactionDecodeCache:
         self.max_size = max_size
         self._decoded: "OrderedDict[bytes, Transaction]" = OrderedDict()
         self.evictions = 0
+        # Plain-int mirrors of the telemetry counters: health digests
+        # must work (and stay byte-deterministic) with telemetry off.
+        self.hits = 0
+        self.misses = 0
         telemetry = coerce_registry(telemetry)
         self._m_hit = telemetry.counter(
             "repro_cache_decode_hits_total",
@@ -361,8 +365,10 @@ class TransactionDecodeCache:
         tx = decoded.get(data)
         if tx is not None:
             decoded.move_to_end(data)
+            self.hits += 1
             self._m_hit.inc()
             return tx
+        self.misses += 1
         self._m_miss.inc()
         tx = Transaction.from_bytes(data)
         decoded[data] = tx

@@ -95,6 +95,10 @@ class VerificationCache:
         # False when only the signature was (allow_simulated_pow).
         self._verified: "OrderedDict[bytes, bool]" = OrderedDict()
         self.evictions = 0
+        # Plain-int mirrors of the telemetry counters: health digests
+        # must work (and stay byte-deterministic) with telemetry off.
+        self.hits = 0
+        self.misses = 0
         telemetry = coerce_registry(telemetry)
         self._m_hit = telemetry.counter(
             "repro_cache_verify_hits_total",
@@ -121,8 +125,10 @@ class VerificationCache:
         pow_verified = verified.get(key)
         if pow_verified is not None and (pow_verified or not require_pow):
             verified.move_to_end(key)
+            self.hits += 1
             self._m_hit.inc()
             return True
+        self.misses += 1
         self._m_miss.inc()
         return False
 

@@ -18,7 +18,8 @@ import json
 import math
 from typing import IO, Iterable, List, Optional, Tuple, Union
 
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (QUANTILES, Counter, Gauge, Histogram,
+                       MetricsRegistry, bucket_quantile)
 from .tracer import Tracer
 
 __all__ = ["export_jsonl", "to_prometheus_text", "render_summary"]
@@ -72,6 +73,16 @@ def export_jsonl(sink: Union[str, IO[str]],
             }))
             order += 1
     records.sort(key=lambda r: (r[0], r[1]))
+    if registry is not None:
+        # Trailing meta record: how much of the story the event log
+        # actually holds (the log is bounded; overflow drops the
+        # oldest half into `events_dropped`).
+        records.append((math.inf, order, {
+            "type": "meta",
+            "t": registry.now(),
+            "events_recorded": len(registry.events),
+            "events_dropped": registry.events_dropped,
+        }))
 
     def write_all(handle: IO[str]) -> int:
         for _, _, record in records:
@@ -131,6 +142,21 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(
                     f"{inst.name}_count{_label_str(labels)} {count}"
                 )
+                if state is not None and state.count:
+                    for q in QUANTILES:
+                        estimate = bucket_quantile(inst.buckets, state, q)
+                        ql = dict(labels)
+                        ql["quantile"] = _format_value(q)
+                        lines.append(
+                            f"{inst.name}_quantile"
+                            f"{_label_str(sorted(ql.items()))} "
+                            f"{_format_value(estimate)}"
+                        )
+    lines.append("# HELP repro_telemetry_events_dropped_total "
+                 "Metric events discarded by the bounded event log")
+    lines.append("# TYPE repro_telemetry_events_dropped_total counter")
+    lines.append(f"repro_telemetry_events_dropped_total "
+                 f"{registry.events_dropped}")
     return "\n".join(lines) + "\n"
 
 
@@ -146,10 +172,13 @@ def render_summary(registry: MetricsRegistry) -> str:
     for inst in registry.instruments():
         if isinstance(inst, Histogram):
             merged = inst.merged()
-            headline = (
-                f"n={merged.count} mean={merged.mean:.4g}"
-                + (f" max={merged.maximum:.4g}" if merged.count else "")
-            )
+            headline = f"n={merged.count} mean={merged.mean:.4g}"
+            if merged.count:
+                quantiles = inst.quantiles()
+                headline += "".join(
+                    f" p{int(q * 100)}={quantiles[q]:.4g}"
+                    for q in sorted(quantiles))
+                headline += f" max={merged.maximum:.4g}"
             observations = merged.count
         else:
             series = inst.series()
@@ -157,4 +186,7 @@ def render_summary(registry: MetricsRegistry) -> str:
             total = sum(series.values())
             headline = f"total={total:.6g} series={len(series)}"
         rows.append((inst.name, inst.kind, observations, headline))
-    return format_table(rows, headers=["metric", "kind", "series", "value"])
+    table = format_table(rows, headers=["metric", "kind", "series", "value"])
+    return (f"{table}\n"
+            f"event log: {len(registry.events)} recorded, "
+            f"{registry.events_dropped} dropped")

@@ -36,6 +36,8 @@ __all__ = [
     "SECONDS_BUCKETS",
     "COUNT_BUCKETS",
     "DIFFICULTY_BUCKETS",
+    "QUANTILES",
+    "bucket_quantile",
 ]
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
@@ -52,6 +54,10 @@ COUNT_BUCKETS: Tuple[float, ...] = (
 
 DIFFICULTY_BUCKETS: Tuple[float, ...] = (2, 4, 6, 8, 10, 12, 16, 20, 24)
 """Edges matching the PoW difficulty range [1, 24]."""
+
+QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+"""The quantiles surfaced by the summary renderer and the Prometheus
+exporter (as ``_quantile``-suffixed gauges)."""
 
 LabelSet = Tuple[Tuple[str, str], ...]
 
@@ -161,6 +167,34 @@ class HistogramSeries:
         return self.total / self.count if self.count else 0.0
 
 
+def bucket_quantile(edges: Sequence[float],
+                    series: Optional[HistogramSeries],
+                    q: float) -> Optional[float]:
+    """Estimate the *q*-quantile of a fixed-bucket series.
+
+    Linear interpolation within the bucket that crosses the target
+    rank; the first bucket is anchored at the observed minimum and the
+    overflow bucket at the observed maximum, and the estimate is always
+    clamped into ``[minimum, maximum]``.  Returns ``None`` for an empty
+    series.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    if series is None or series.count == 0:
+        return None
+    target = q * series.count
+    cumulative = 0.0
+    for i, count in enumerate(series.bucket_counts):
+        if count and cumulative + count >= target:
+            lo = edges[i - 1] if i > 0 else series.minimum
+            hi = edges[i] if i < len(edges) else series.maximum
+            fraction = (target - cumulative) / count
+            value = lo + (hi - lo) * fraction
+            return min(max(value, series.minimum), series.maximum)
+        cumulative += count
+    return series.maximum
+
+
 class Histogram(Instrument):
     """Fixed-bucket distribution; edges are upper bounds, +Inf implied."""
 
@@ -191,6 +225,19 @@ class Histogram(Instrument):
 
     def snapshot(self, **labels: str) -> Optional[HistogramSeries]:
         return self._series.get(_label_key(labels))
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Estimated *q*-quantile; the merged distribution when no
+        labels are given, the matching series otherwise."""
+        if labels:
+            series = self._series.get(_label_key(labels))
+        else:
+            series = self.merged()
+        return bucket_quantile(self.buckets, series, q)
+
+    def quantiles(self, qs: Sequence[float] = QUANTILES,
+                  **labels: str) -> Dict[float, Optional[float]]:
+        return {q: self.quantile(q, **labels) for q in qs}
 
     def merged(self) -> HistogramSeries:
         """All label sets folded into one distribution."""
@@ -356,6 +403,13 @@ class _NullInstrument:
 
     def value(self, **labels: str) -> float:
         return 0.0
+
+    def quantile(self, q: float, **labels: str) -> None:
+        return None
+
+    def quantiles(self, qs: Sequence[float] = QUANTILES,
+                  **labels: str) -> Dict[float, None]:
+        return {q: None for q in qs}
 
     def series(self) -> Dict[LabelSet, float]:
         return {}

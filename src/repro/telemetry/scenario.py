@@ -25,11 +25,16 @@ drive all five instrumented subsystems:
   to an instrumented store, checkpointed (with pruning), extended, and
   loaded back, driving every ``repro_storage_*`` write/flush/replay
   counter.
+* **trace/lifecycle** — every submission round is sampled by the
+  :class:`~repro.telemetry.lifecycle.LifecycleTracker`, and a final
+  confirmation sweep plus ``finalize()`` drive the ``repro_trace_*``
+  and ``repro_lifecycle_*`` instruments (confirmation latency and
+  propagation-coverage included).
 """
 
 from __future__ import annotations
 
-__all__ = ["run_smoke_scenario"]
+__all__ = ["run_smoke_scenario", "run_trace_scenario"]
 
 
 def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
@@ -68,6 +73,12 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
     _run_recovery_probe(system)
     _run_storage_probe(system)
 
+    # Lifecycle close-out: the confirmation sweep and finalize() drive
+    # the confirmation-latency histogram and the propagation-coverage
+    # gauge, which have no hot-path emission site by design.
+    system.lifecycle.sweep_confirmations(system.full_nodes, threshold=3)
+    system.lifecycle.finalize(node_count=len(system.full_nodes))
+
     # Reporting reads: consecutive calls hit the rebuild branch first,
     # then the cached branch, covering both cache counters.
     tangle = system.manager.tangle
@@ -75,6 +86,56 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
     for _ in range(2):
         tangle.tips()
         tangle.depth_from_tips(genesis_hash)
+    return system
+
+
+def run_trace_scenario(*, seed: int = 7, device_count: int = 4,
+                       gateway_count: int = 2, seconds: float = 20.0,
+                       sample_every: int = 1,
+                       confirmation_threshold: int = 3):
+    """Build and run the causal-tracing scenario behind ``repro trace``.
+
+    Unlike the smoke scenario this run is **byte-deterministic**: the
+    process-global randomness source is swapped for a seeded stream for
+    the duration of the run (sensitive-sensor payload encryption
+    otherwise draws fresh AES IVs from ``os.urandom``), so two runs
+    with the same seed produce identical tangles, identical span
+    timings, and byte-identical trace artifacts.
+
+    Devices are stopped shortly before the end and the tail of the run
+    drains in-flight gossip, so sampled transactions reach every
+    reachable full node; a periodic confirmation sweep timestamps
+    confirmations at ~1 s resolution of simulated time.
+    """
+    from ..core.biot import BIoTConfig, BIoTSystem
+    from ..crypto import rand
+
+    with rand.deterministic(f"trace:smoke:{seed}".encode()):
+        config = BIoTConfig(
+            device_count=device_count,
+            gateway_count=gateway_count,
+            seed=seed,
+            initial_difficulty=8,
+            tip_alpha=0.05,
+            telemetry=True,
+            trace_sample_every=sample_every,
+        )
+        system = BIoTSystem.build(config)
+        system.initialize()
+        system.start_devices()
+        elapsed = 0.0
+        while elapsed < seconds:
+            step = min(1.0, seconds - elapsed)
+            system.run_for(step)
+            elapsed += step
+            system.lifecycle.sweep_confirmations(
+                system.full_nodes, threshold=confirmation_threshold)
+        for device in system.devices:
+            device.stop()
+        system.run_for(5.0)  # drain in-flight PoW, gossip, solidification
+        system.lifecycle.sweep_confirmations(
+            system.full_nodes, threshold=confirmation_threshold)
+        system.lifecycle.finalize(node_count=len(system.full_nodes))
     return system
 
 

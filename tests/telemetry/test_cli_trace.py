@@ -1,0 +1,104 @@
+"""The ``repro trace`` subcommand: artifacts, byte-determinism, and
+the acceptance properties of the causal trees it emits."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.telemetry.scenario import run_trace_scenario
+from repro.telemetry.trace_export import (
+    chrome_trace_json,
+    dominant_stage,
+    lifecycle_report,
+    render_lifecycle_text,
+)
+
+
+def run_once(seed=7, seconds=12.0):
+    system = run_trace_scenario(seed=seed, seconds=seconds)
+    lifecycle = system.lifecycle
+    node_count = len(system.full_nodes)
+    return {
+        "trace": chrome_trace_json(system.tracer, lifecycle),
+        "report": json.dumps(lifecycle_report(lifecycle,
+                                              node_count=node_count),
+                             sort_keys=True, separators=(",", ":")),
+        "text": render_lifecycle_text(lifecycle, node_count=node_count),
+        "system": system,
+    }
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scenario == "smoke"
+        assert args.seed == 7
+        assert args.sample_every == 1
+
+
+class TestDeterminism:
+    def test_two_runs_are_byte_identical(self):
+        """Same seed, two fresh runs in one process: every artifact
+        must match byte for byte (the trace-smoke CI property)."""
+        first = run_once()
+        second = run_once()
+        assert first["trace"] == second["trace"]
+        assert first["report"] == second["report"]
+        assert first["text"] == second["text"]
+
+    def test_different_seeds_diverge(self):
+        assert run_once(seed=7)["trace"] != run_once(seed=8)["trace"]
+
+
+class TestAcceptance:
+    def test_trees_span_nodes_and_name_critical_path(self):
+        """Every delivered transaction's causal tree covers at least
+        three nodes (device + two full nodes) and names a dominant
+        critical-path stage."""
+        run = run_once()
+        lifecycle = run["system"].lifecycle
+        delivered = [t for t in lifecycle.timelines()
+                     if t.bound and t.attached_nodes()]
+        assert delivered, "trace scenario delivered nothing"
+        for timeline in delivered:
+            assert len(timeline.nodes()) >= 3, timeline.trace_id
+            assert dominant_stage(timeline) is not None
+
+    def test_report_has_quantiles_and_coverage(self):
+        report = json.loads(run_once()["report"])
+        assert report["delivered"] > 0
+        assert 0.0 < report["propagation_coverage"] <= 1.0
+        attach = report["submit_to_attach"]
+        assert attach["count"] == report["delivered"]
+        assert attach["p50"] is not None
+        assert report["critical_path_totals"]
+
+    def test_chrome_trace_loads_in_viewer_shape(self):
+        doc = json.loads(run_once()["trace"])
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "tx.ingest"
+                   for e in events)
+        assert any(e["ph"] == "i" and e["name"] == "stage:confirmed"
+                   for e in events)
+        # Multiple transaction rows, each named by its trace id.
+        tx_rows = [e for e in events if e["ph"] == "M"
+                   and e["args"]["name"].startswith("tx:")]
+        assert len(tx_rows) >= 2
+
+
+class TestCommand:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace"
+        code = main(["trace", "--scenario", "smoke", "--seed", "7",
+                     "--seconds", "12", "--out-dir", str(out_dir)])
+        assert code == 0
+
+        out = capsys.readouterr().out
+        assert "transaction lifecycle report" in out
+        assert "chrome trace ->" in out
+
+        doc = json.loads((out_dir / "trace.json").read_text())
+        assert doc["traceEvents"]
+        report = json.loads((out_dir / "lifecycle.json").read_text())
+        assert report["delivered"] > 0
+        text = (out_dir / "lifecycle.txt").read_text()
+        assert "critical path:" in text

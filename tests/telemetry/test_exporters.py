@@ -62,7 +62,7 @@ def test_jsonl_matches_golden():
     registry, tracer = build_sample()
     sink = io.StringIO()
     records = export_jsonl(sink, registry=registry, tracer=tracer)
-    assert records == 7  # 5 metric events + 2 spans
+    assert records == 8  # 5 metric events + 2 spans + 1 meta
     expected = (GOLDEN_DIR / "sample.jsonl").read_text()
     assert sink.getvalue() == expected
 
@@ -73,11 +73,16 @@ def test_jsonl_lines_are_valid_json_in_time_order():
     export_jsonl(sink, registry=registry, tracer=tracer)
     rows = [json.loads(line) for line in sink.getvalue().splitlines()]
     assert [r["t"] for r in rows] == sorted(r["t"] for r in rows)
-    assert {r["type"] for r in rows} == {"metric", "span"}
+    assert {r["type"] for r in rows} == {"metric", "span", "meta"}
 
     spans = {r["name"]: r for r in rows if r["type"] == "span"}
     assert spans["step"]["parent_id"] == spans["phase"]["span_id"]
     assert spans["phase"]["duration"] == 3.0
+
+    meta = rows[-1]
+    assert meta["type"] == "meta"  # always the trailing record
+    assert meta["events_recorded"] == 5
+    assert meta["events_dropped"] == 0
 
 
 def test_prometheus_matches_golden():
@@ -106,6 +111,24 @@ def test_render_summary_lists_every_instrument():
         assert name in table
     assert "histogram" in table
     assert "total=3" in table  # requests across both label sets
+
+
+def test_render_summary_includes_quantiles_and_drop_count():
+    registry, _ = build_sample()
+    table = render_summary(registry)
+    assert "p50=" in table and "p95=" in table and "p99=" in table
+    assert table.rstrip().endswith("event log: 5 recorded, 0 dropped")
+
+
+def test_prometheus_quantile_gauges():
+    registry, _ = build_sample()
+    text = to_prometheus_text(registry)
+    # Interpolated estimates for the two observations (0.05, 5.0): the
+    # p50 target lands exactly on the first bucket's upper edge (0.1).
+    assert ('repro_demo_latency_seconds_quantile'
+            '{node="a",quantile="0.5"} 0.1') in text
+    assert 'quantile="0.99"' in text
+    assert "repro_telemetry_events_dropped_total 0" in text
 
 
 def _regenerate():

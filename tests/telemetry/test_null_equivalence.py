@@ -47,3 +47,39 @@ class TestNullEquivalence:
         assert not system.tracer.enabled
         assert system.telemetry.snapshot() == {}
         assert system.tracer.finished() == []
+
+    def test_disabled_lifecycle_and_scheduler_are_null(self):
+        """The causal layer must vanish completely when telemetry is
+        off: null lifecycle on every node, no trace binder on the
+        scheduler, no trace contexts on delivered messages."""
+        system = _run(telemetry=False)
+        assert not system.lifecycle.enabled
+        assert system.lifecycle.timelines() == []
+        assert system.scheduler.trace_binder is None
+        for node in system.full_nodes:
+            assert node.lifecycle is system.lifecycle
+        for device in system.devices:
+            assert device.lifecycle is system.lifecycle
+
+    def test_lifecycle_sampling_rate_does_not_change_ledger(self):
+        """Tracing every transaction vs every third one must not move
+        a single event: the causal layer only observes."""
+        def run(sample_every):
+            config = BIoTConfig(
+                device_count=2, gateway_count=1, seed=11,
+                initial_difficulty=6, telemetry=True,
+                sensor_cycle=("temperature", "vibration"),
+                trace_sample_every=sample_every,
+            )
+            system = BIoTSystem.build(config)
+            system.initialize()
+            system.start_devices()
+            system.run_for(20.0)
+            return system
+
+        dense = run(1)
+        sparse = run(3)
+        assert ([tx.tx_hash for tx in dense.manager.tangle]
+                == [tx.tx_hash for tx in sparse.manager.tangle])
+        assert len(dense.lifecycle.timelines()) > len(
+            sparse.lifecycle.timelines())

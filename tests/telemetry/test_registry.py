@@ -7,6 +7,8 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    QUANTILES,
+    bucket_quantile,
     coerce_registry,
 )
 
@@ -95,6 +97,85 @@ class TestHistogram:
             MetricsRegistry().histogram("repro_test_sizes", buckets=(5, 1))
 
 
+class TestQuantiles:
+    """Bucket-interpolated quantile estimation (golden values)."""
+
+    def _uniform_histogram(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(10, 20, 30, 40))
+        for value in range(1, 41):  # 1..40, 10 per bucket
+            histogram.observe(value)
+        return histogram
+
+    def test_uniform_spread_golden_values(self):
+        histogram = self._uniform_histogram()
+        # 40 uniform observations over 4 equal buckets: the estimate
+        # interpolates linearly, anchored at the series minimum.
+        assert histogram.quantile(0.25) == pytest.approx(10.0)
+        assert histogram.quantile(0.5) == pytest.approx(20.0)
+        assert histogram.quantile(0.75) == pytest.approx(30.0)
+        assert histogram.quantile(1.0) == pytest.approx(40.0)
+
+    def test_first_bucket_anchored_at_minimum(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(10,))
+        histogram.observe(4.0)
+        histogram.observe(8.0)
+        # Both in the first bucket: lo = min = 4, hi = edge = 10.
+        assert histogram.quantile(0.5) == pytest.approx(7.0)
+
+    def test_overflow_bucket_capped_at_maximum(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(1,))
+        histogram.observe(0.5)
+        histogram.observe(100.0)
+        # Targets in the +Inf bucket interpolate between its lower
+        # edge and the observed maximum, never beyond it.
+        assert histogram.quantile(0.99) == pytest.approx(98.02)
+        assert histogram.quantile(1.0) == pytest.approx(100.0)
+
+    def test_empty_histogram_returns_none(self):
+        histogram = MetricsRegistry().histogram("repro_test_seconds")
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantiles() == {q: None for q in QUANTILES}
+
+    def test_quantiles_batch_matches_singles(self):
+        histogram = self._uniform_histogram()
+        batch = histogram.quantiles()
+        assert set(batch) == set(QUANTILES)
+        for q, value in batch.items():
+            assert value == histogram.quantile(q)
+
+    def test_labelled_series_quantile(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(10, 20))
+        histogram.observe(5, node="a")
+        histogram.observe(15, node="b")
+        assert histogram.quantile(1.0, node="a") == pytest.approx(5.0)
+        assert histogram.quantile(1.0, node="b") == pytest.approx(15.0)
+        assert histogram.quantile(0.5, node="missing") is None
+
+    def test_out_of_range_q_rejected(self):
+        histogram = self._uniform_histogram()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                histogram.quantile(bad)
+
+    def test_bucket_quantile_clamps_to_observed_range(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_test_seconds", buckets=(10, 20))
+        histogram.observe(12.0)
+        merged = histogram.merged()
+        # A single observation: every quantile is that observation.
+        for q in (0.01, 0.5, 0.99):
+            assert bucket_quantile((10, 20), merged, q) == pytest.approx(12.0)
+
+    def test_null_instrument_quantiles(self):
+        histogram = NULL_REGISTRY.histogram("repro_test_seconds")
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantiles() == {q: None for q in QUANTILES}
+
+
 class TestEventLog:
     def test_events_carry_sim_time(self):
         clock = FakeClock()
@@ -116,6 +197,36 @@ class TestEventLog:
         assert len(registry.events) == 6  # 10 -> keep 5, append 1
         assert registry.events_dropped == 5
         assert counter.total == 11  # aggregates never drop
+
+    def test_overflow_count_surfaces_in_exports(self):
+        """Forcing the event log to overflow must show up in every
+        consumer: the JSONL meta record, the Prometheus exposition,
+        and the human summary footer."""
+        import io
+        import json
+
+        from repro.telemetry.exporters import (
+            export_jsonl,
+            render_summary,
+            to_prometheus_text,
+        )
+
+        registry = MetricsRegistry(max_events=4)
+        counter = registry.counter("repro_test_total")
+        for _ in range(5):
+            counter.inc()
+        assert registry.events_dropped == 2
+
+        sink = io.StringIO()
+        export_jsonl(sink, registry=registry)
+        meta = json.loads(sink.getvalue().splitlines()[-1])
+        assert meta["type"] == "meta"
+        assert meta["events_dropped"] == 2
+        assert meta["events_recorded"] == 3
+
+        assert ("repro_telemetry_events_dropped_total 2"
+                in to_prometheus_text(registry))
+        assert "2 dropped" in render_summary(registry)
 
     def test_record_events_off_keeps_aggregates(self):
         registry = MetricsRegistry(record_events=False)
