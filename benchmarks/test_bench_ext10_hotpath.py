@@ -1,6 +1,7 @@
-"""Ext-10 — per-transaction hot path: credit windows and shared caches.
+"""Ext-10 — per-transaction hot path: credit windows, shared caches and
+the accelerated crypto lane.
 
-Three measurements of the PR-5 fast lanes, on identical inputs:
+Four measurements of the PR-5/PR-8 fast lanes, on identical inputs:
 
 * **credit evaluation** — the incremental rolling window
   (:class:`~repro.core.credit.CreditRegistry`) vs a from-scratch rescan
@@ -13,7 +14,13 @@ Three measurements of the PR-5 fast lanes, on identical inputs:
   :class:`~repro.tangle.validation.VerificationCache` and
   :class:`~repro.tangle.transaction.TransactionDecodeCache`;
 * **verify/decode cache hit rates** — observed counter values from an
-  instrumented cached run.
+  instrumented cached run;
+* **crypto backends** — end-to-end *uncached* gossip-flood validation
+  throughput with the reference Ed25519 backend vs the accel backend
+  (batch verification + fixed-base tables), identical wire traffic:
+  the same ``gossip_batch`` burst floods a ring of full nodes with no
+  shared verification/decode caches, so every node pays full signature
+  verification for every transaction.
 
 Emits ``benchmarks/out/BENCH_hotpath.json`` for EXPERIMENTS.md.
 
@@ -55,6 +62,13 @@ CREDIT_MIN_SPEEDUP = 1.0 if SMOKE else 10.0
 NODE_COUNTS = (4, 8) if SMOKE else (10, 50, 200)
 TX_COUNTS = {4: 6, 8: 4} if SMOKE else {10: 40, 50: 20, 200: 8}
 RING_DEGREE = 2  # peers on each side -> fanout 4
+
+# -- crypto backend dimensions --------------------------------------------
+CRYPTO_NODES = 4 if SMOKE else 8
+CRYPTO_TXS = 8 if SMOKE else 64
+CRYPTO_ISSUERS = 2 if SMOKE else 4
+CRYPTO_BATCH_SIZE = 16
+CRYPTO_MIN_SPEEDUP = 1.0 if SMOKE else 5.0
 
 
 # -- credit evaluation ----------------------------------------------------
@@ -200,11 +214,90 @@ def _bench_gossip():
     return out
 
 
+# -- crypto backends ------------------------------------------------------
+
+def _build_issuer_transactions(genesis, count, issuers):
+    """Chained difficulty-1 transactions spread across *issuers* keys —
+    the realistic shape for the batch verifier (few issuers per burst,
+    so the accel lane's column merging and decompress reuse engage)."""
+    keys = [KeyPair.generate(seed=b"ext10-crypto-%d" % i)
+            for i in range(issuers)]
+    txs = []
+    prev, prev2 = genesis.tx_hash, genesis.tx_hash
+    for i in range(count):
+        tx = Transaction.create(
+            keys[i % issuers], kind="data",
+            payload=f"ext10-crypto-{i}".encode(),
+            timestamp=float(i + 1), branch=prev2, trunk=prev,
+            difficulty=1,
+        )
+        prev2, prev = prev, tx.tx_hash
+        txs.append(tx)
+    return txs
+
+
+def _flood_backend(genesis, txs, backend):
+    """Flood *txs* as one gossip_batch through an uncached ring of
+    CRYPTO_NODES full nodes running *backend*; return wall seconds."""
+    from repro.crypto.accel import ed25519_accel
+
+    scheduler = EventScheduler()
+    network = Network(scheduler, rng=random.Random(77))
+    nodes = []
+    for i in range(CRYPTO_NODES):
+        node = FullNode(
+            f"cn{i}", genesis, rng=random.Random(7000 + i),
+            crypto_backend=backend,
+            gossip_batch_size=CRYPTO_BATCH_SIZE,
+        )
+        network.attach(node)
+        nodes.append(node)
+    for i in range(CRYPTO_NODES):
+        for step in range(1, RING_DEGREE + 1):
+            nodes[i].add_peer(nodes[(i + step) % CRYPTO_NODES].address)
+            nodes[i].add_peer(nodes[(i - step) % CRYPTO_NODES].address)
+    encoded = [tx.to_bytes() for tx in txs]
+    # The timed region measures *validation* throughput: table
+    # construction is one-time process setup, and the decompress cache
+    # is cleared so both backends start cold on this burst's issuers.
+    ed25519_accel.precompute()
+    ed25519_accel._decompress_cache.clear()
+    start = time.perf_counter()
+    network.send(nodes[0].address, nodes[0].address,
+                 "gossip_batch", {"transactions": encoded},
+                 size_bytes=sum(len(e) for e in encoded))
+    scheduler.run()
+    elapsed = time.perf_counter() - start
+    for node in nodes:
+        assert len(node.tangle) == len(txs) + 1
+    return elapsed
+
+
+def _bench_crypto_backends():
+    genesis = ManagerNode.create_genesis(MANAGER_KEYS)
+    txs = _build_issuer_transactions(genesis, CRYPTO_TXS, CRYPTO_ISSUERS)
+    deliveries = CRYPTO_TXS * CRYPTO_NODES
+    reference_s = _flood_backend(genesis, txs, "reference")
+    accel_s = _flood_backend(genesis, txs, "accel")
+    return {
+        "nodes": CRYPTO_NODES,
+        "transactions": CRYPTO_TXS,
+        "issuers": CRYPTO_ISSUERS,
+        "gossip_batch_size": CRYPTO_BATCH_SIZE,
+        "reference_seconds": reference_s,
+        "accel_seconds": accel_s,
+        "reference_verified_tx_per_s": deliveries / reference_s,
+        "accel_verified_tx_per_s": deliveries / accel_s,
+        "speedup": reference_s / accel_s,
+    }
+
+
 def _run():
     return {
         "smoke": SMOKE,
         "credit": _bench_credit(),
         "gossip": _bench_gossip(),
+        "crypto": _bench_crypto_backends(),
     }
 
 
@@ -228,6 +321,13 @@ def test_bench_ext10_hotpath(benchmark, report_writer):
          f"{results['gossip'][str(n)]['decode_hit_rate']:.0%}")
         for n in NODE_COUNTS
     ]
+    crypto = results["crypto"]
+    crypto_rows = [(
+        crypto["nodes"], crypto["transactions"], crypto["issuers"],
+        f"{crypto['reference_verified_tx_per_s']:,.0f}",
+        f"{crypto['accel_verified_tx_per_s']:,.0f}",
+        f"{crypto['speedup']:.1f}x",
+    )]
     report = "\n\n".join([
         format_table(credit_rows, headers=[
             "history", "evals", "naive evals/s", "incremental evals/s",
@@ -235,6 +335,9 @@ def test_bench_ext10_hotpath(benchmark, report_writer):
         format_table(gossip_rows, headers=[
             "nodes", "txs", "uncached tx/s", "cached tx/s", "speedup",
             "verify hits", "decode hits"]),
+        format_table(crypto_rows, headers=[
+            "nodes", "txs", "issuers", "reference tx/s", "accel tx/s",
+            "speedup"]),
     ])
     report_writer("ext10_hotpath", report)
 
@@ -243,9 +346,12 @@ def test_bench_ext10_hotpath(benchmark, report_writer):
         json.dumps(results, indent=2, sort_keys=True) + "\n")
 
     # Acceptance: >=10x credit evaluation at a 10k history (sanity-only
-    # in smoke mode), a measurable cached-gossip win at every size, and
-    # high hit rates (each tx verified/decoded once, hit n-1 times).
+    # in smoke mode), a measurable cached-gossip win at every size,
+    # high hit rates (each tx verified/decoded once, hit n-1 times),
+    # and >=5x uncached flood validation throughput for the accel
+    # crypto backend over the reference.
     assert credit["speedup"] >= CREDIT_MIN_SPEEDUP
+    assert crypto["speedup"] >= CRYPTO_MIN_SPEEDUP
     for n in NODE_COUNTS:
         entry = results["gossip"][str(n)]
         assert entry["cached_seconds"] < entry["uncached_seconds"]

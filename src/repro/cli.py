@@ -94,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--require-all", action="store_true",
                            help="fail if any registered metric was "
                                 "never emitted during the scenario")
+    telemetry.add_argument("--crypto-backend",
+                           choices=["reference", "accel"],
+                           default="reference",
+                           help="Ed25519 implementation for the full "
+                                "nodes (accel = tables + batch verify)")
+    telemetry.add_argument("--pow-workers", type=int, default=0,
+                           help="worker processes for PoW grinding and "
+                                "signature checks (0 = in-process)")
 
     trace = sub.add_parser(
         "trace", help="run the byte-deterministic causal-tracing "
@@ -247,7 +255,10 @@ def _cmd_telemetry(args) -> int:
     )
     from .telemetry.scenario import run_smoke_scenario
 
-    system = run_smoke_scenario(seed=args.seed, seconds=args.seconds)
+    system = run_smoke_scenario(seed=args.seed, seconds=args.seconds,
+                                crypto_backend=args.crypto_backend,
+                                pow_workers=args.pow_workers)
+    system.close()  # release pool workers before the export phase
     registry = system.telemetry
 
     os.makedirs(args.out_dir, exist_ok=True)

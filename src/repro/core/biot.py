@@ -82,6 +82,23 @@ class BIoTConfig:
             ``"memory"``, and must be empty for a fresh deployment
             (restores go through :meth:`~repro.nodes.full_node.
             FullNode.cold_restore`, never through ``build``).
+        crypto_backend: Ed25519 implementation every full node verifies
+            with — ``"reference"`` (default; the from-scratch module)
+            or ``"accel"`` (precomputed tables, wNAF double-scalar and
+            batch verification; see :mod:`repro.crypto.accel`).  Both
+            accept exactly the same signatures, so simulation results
+            are bit-identical either way.
+        pow_workers: worker processes in the deployment-shared
+            :class:`~repro.crypto.accel.CryptoPool`.  0 (default)
+            creates no pool; with N >= 1, real PoW grinding and batch
+            signature checks fan out across N processes with results
+            identical to sequential execution (the pool lives at
+            deployment level, never inside event handlers, so the
+            discrete-event schedule is untouched).
+        gossip_batch_size: max transactions a full node coalesces into
+            one ``gossip_batch`` message when a burst ingests together;
+            1 (default) keeps the classic one-flood-per-transaction
+            wire behaviour.
     """
 
     gateway_count: int = 2
@@ -103,6 +120,9 @@ class BIoTConfig:
     trace_sample_every: int = 1
     storage_backend: str = "memory"
     storage_dir: Optional[str] = None
+    crypto_backend: str = "reference"
+    pow_workers: int = 0
+    gossip_batch_size: int = 1
 
     def __post_init__(self):
         if self.gateway_count < 1:
@@ -118,6 +138,15 @@ class BIoTConfig:
             raise ValueError(
                 f"unknown storage backend {self.storage_backend!r} "
                 f"(known: memory, file, sqlite)")
+        from ..crypto.accel import CRYPTO_BACKENDS
+        if self.crypto_backend not in CRYPTO_BACKENDS:
+            raise ValueError(
+                f"unknown crypto backend {self.crypto_backend!r} "
+                f"(known: {', '.join(CRYPTO_BACKENDS)})")
+        if self.pow_workers < 0:
+            raise ValueError("pow_workers must be >= 0")
+        if self.gossip_batch_size < 1:
+            raise ValueError("gossip_batch_size must be >= 1")
 
 
 class BIoTSystem:
@@ -128,6 +157,7 @@ class BIoTSystem:
                  gateways: List[FullNode], devices: List[LightNode],
                  device_keys: Dict[str, KeyPair],
                  gateway_keys: Dict[str, KeyPair],
+                 crypto_pool=None,
                  telemetry=NULL_REGISTRY, tracer=NULL_TRACER,
                  lifecycle=NULL_LIFECYCLE):
         self.config = config
@@ -141,6 +171,7 @@ class BIoTSystem:
         self.telemetry = telemetry
         self.tracer = tracer
         self.lifecycle = lifecycle
+        self.crypto_pool = crypto_pool
         self.initialized = False
 
     # -- construction ------------------------------------------------------
@@ -190,6 +221,14 @@ class BIoTSystem:
         verification_cache = VerificationCache(telemetry=telemetry)
         decode_cache = TransactionDecodeCache(telemetry=telemetry)
 
+        # One worker pool for the whole deployment (or none): pooling
+        # at node level would fork per node and, worse, tempt event
+        # handlers into non-deterministic completion ordering.
+        crypto_pool = None
+        if config.pow_workers > 0:
+            from ..crypto.accel import CryptoPool
+            crypto_pool = CryptoPool(config.pow_workers)
+
         manager_keys = KeyPair.generate(seed=f"manager:{config.seed}".encode())
         device_keys = {
             f"device-{i}": KeyPair.generate(seed=f"device:{config.seed}:{i}".encode())
@@ -230,6 +269,9 @@ class BIoTSystem:
             retry_policy=config.retry_policy,
             verification_cache=verification_cache,
             decode_cache=decode_cache,
+            crypto_backend=config.crypto_backend,
+            crypto_pool=crypto_pool,
+            gossip_batch_size=config.gossip_batch_size,
             telemetry=telemetry,
             lifecycle=lifecycle,
         )
@@ -252,6 +294,9 @@ class BIoTSystem:
                 retry_policy=config.retry_policy,
                 verification_cache=verification_cache,
                 decode_cache=decode_cache,
+                crypto_backend=config.crypto_backend,
+                crypto_pool=crypto_pool,
+                gossip_batch_size=config.gossip_batch_size,
                 telemetry=telemetry,
                 lifecycle=lifecycle,
             )
@@ -301,6 +346,7 @@ class BIoTSystem:
                 sensor=make_sensor(sensor_type, seed=config.seed + i),
                 report_interval=config.report_interval,
                 rng=random.Random(master.randrange(2 ** 63)),
+                pow_pool=crypto_pool,
                 telemetry=telemetry,
                 lifecycle=lifecycle,
             )
@@ -318,6 +364,7 @@ class BIoTSystem:
             devices=devices,
             device_keys=device_keys,
             gateway_keys=gateway_keys,
+            crypto_pool=crypto_pool,
             telemetry=telemetry,
             tracer=tracer,
             lifecycle=lifecycle,
@@ -368,6 +415,15 @@ class BIoTSystem:
         """Advance the simulation by *seconds*."""
         with self.tracer.span("biot.run", seconds=seconds):
             self.scheduler.run_until(self.scheduler.clock.now() + seconds)
+
+    def close(self) -> None:
+        """Release deployment-level resources (the crypto worker pool).
+
+        Idempotent; a system without a pool (``pow_workers=0``, the
+        default) has nothing to release and this is a no-op.
+        """
+        if self.crypto_pool is not None:
+            self.crypto_pool.close()
 
     # -- reporting -------------------------------------------------------
 

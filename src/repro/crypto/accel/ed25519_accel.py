@@ -1,0 +1,437 @@
+"""Accelerated Ed25519: precomputed tables, wNAF and batch verification.
+
+Same group, same byte-level behaviour as :mod:`repro.crypto.ed25519`
+(the from-scratch reference), three algorithmic upgrades:
+
+* **fixed-base tables** — scalar multiplication by the base point ``B``
+  (key generation, signing, the ``sB`` half of verification) walks a
+  radix-16 table of ``d * 16^j * B`` built once per process: ~60 point
+  additions and *zero* doublings instead of ~256 doublings + ~128
+  additions;
+* **wNAF double-scalar verification** — the ``R + hA`` half of
+  verification uses width-5 wNAF with per-point odd-multiple tables,
+  and any number of (scalar, point) pairs share one doubling chain
+  (Straus interleaving);
+* **batch verification** — a random-linear-combination check folds a
+  burst of N ``(pk, msg, sig)`` triples into one multi-scalar
+  multiplication::
+
+      (sum z_i * s_i) * B  ==  sum z_i * R_i  +  sum (z_i * h_i) * A_i
+
+  which costs one shared doubling chain plus ~O(bits/w) additions per
+  item — far fewer scalar multiplications than N sequential verifies.
+
+Soundness of the batch path (and its limits)
+--------------------------------------------
+
+The contract is *agreement with the cofactorless reference verify*:
+``verify_batch(items)`` must equal ``[verify(*it) for it in items]``.
+
+* A batch that fails the combined equation falls back to per-item
+  verification — agreement by construction.
+* A batch that passes accepts all items.  With 128-bit coefficients a
+  disagreement then requires the per-item defects ``T_i = s_i*B - R_i
+  - h_i*A_i`` to cancel in the linear combination.  Non-torsion
+  defects cancel with probability ~2^-128 (negligible).  Pure-torsion
+  defects (mixed-order or small-order ``A``/``R``: signatures the
+  *cofactored* equation would accept but the cofactorless reference
+  rejects) live in the 8-element torsion subgroup, where cancellation
+  depends only on ``z_i mod 8`` — so the coefficients are forced
+  **odd**, which makes ``z_i * t_i != identity`` for every non-identity
+  torsion point ``t_i``: a batch containing exactly one torsion-defective
+  signature is *deterministically* rejected and falls back.
+* Two or more torsion-defective items in one batch can still cancel
+  each other (e.g. a pair of order-2 defects always does).  The
+  fallback then never runs and the batch accepts signatures the
+  reference rejects.  This is a fundamental limit of any single linear
+  check over an 8-torsion group; production systems close it by making
+  *single* verification cofactored too (ZIP215).  Here the coefficients
+  are derived by hashing the entire batch content (so replaying the
+  same batch is deterministic and full-system runs stay byte-identical,
+  and an adversary must re-grind the whole batch to steer them), and
+  the residual risk is documented rather than hidden.
+
+Every path is pinned bit-exact against the reference implementation by
+``tests/crypto/test_ed25519_accel.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ed25519 import (
+    PUBLIC_KEY_SIZE,
+    SECRET_KEY_SIZE,
+    SIGNATURE_SIZE,
+    _BASE,
+    _D,
+    _IDENTITY,
+    _L,
+    _P,
+    _point_add,
+    _point_compress,
+    _point_decompress,
+    _point_equal,
+    _secret_expand,
+    _sha512_int,
+)
+
+__all__ = [
+    "public_from_secret",
+    "sign",
+    "verify",
+    "verify_batch",
+    "precompute",
+]
+
+Point = Tuple[int, int, int, int]
+
+# -- fixed-base table ------------------------------------------------------
+
+_FIXED_WINDOWS = 64  # radix-16 digits covering 256-bit scalars
+_TABLE: Optional[List[List[Point]]] = None
+
+
+def _build_base_table() -> List[List[Point]]:
+    """``table[j][d-1] = d * 16**j * B`` for d in 1..15, j in 0..63.
+
+    Row j is built by 15 successive additions of ``16**j * B``; the
+    last sum is exactly ``16**(j+1) * B``, seeding the next row with no
+    extra doublings.  ~960 point additions total, paid once per process
+    on first use.
+    """
+    table: List[List[Point]] = []
+    base = _BASE
+    for _ in range(_FIXED_WINDOWS):
+        row: List[Point] = []
+        cur = base
+        for _ in range(15):
+            row.append(cur)
+            cur = _point_add(cur, base)
+        table.append(row)
+        base = cur  # == 16 * previous base
+    return table
+
+
+def precompute() -> None:
+    """Force the fixed-base table build (otherwise lazy on first use).
+
+    Benchmarks call this up front so table construction is excluded
+    from timed regions; library users never need to.
+    """
+    global _TABLE
+    if _TABLE is None:
+        _TABLE = _build_base_table()
+
+
+def _mul_base(scalar: int) -> Point:
+    """``scalar * B`` via the fixed-base table: <= 64 additions."""
+    precompute()
+    table = _TABLE
+    acc = _IDENTITY
+    window = 0
+    while scalar:
+        digit = scalar & 15
+        if digit:
+            acc = _point_add(acc, table[window][digit - 1])
+        scalar >>= 4
+        window += 1
+    return acc
+
+
+# -- fast point decompression ----------------------------------------------
+
+_SQRT_M1 = pow(2, (_P - 1) // 4, _P)
+"""sqrt(-1) mod p, the square-root correction constant."""
+
+_DECOMPRESS_CACHE_SIZE = 4096
+_decompress_cache: "OrderedDict[bytes, Point]" = OrderedDict()
+
+
+def _recover_x_fast(y: int, sign_bit: int) -> int:
+    """The reference ``_recover_x`` in one modular exponentiation.
+
+    The reference computes an inverse and a square root (two to three
+    255-bit ``pow`` calls); the RFC 8032 combined form
+    ``x = u * v**3 * (u * v**7)**((p-5)/8)`` needs exactly one, with
+    the correction by the precomputed sqrt(-1).  Accepts and rejects
+    *identical* inputs: y >= p, x=0-with-sign-bit and non-residues all
+    raise the same ``ValueError`` shapes.
+    """
+    if y >= _P:
+        raise ValueError("invalid point encoding: y >= p")
+    u = (y * y - 1) % _P
+    v = (_D * y * y + 1) % _P
+    v3 = v * v % _P * v % _P
+    x = u * v3 % _P * pow(u * v3 % _P * v3 % _P * v % _P,
+                          (_P - 5) // 8, _P) % _P
+    vxx = v * x % _P * x % _P
+    if vxx == u:
+        pass
+    elif vxx == (-u) % _P:
+        x = x * _SQRT_M1 % _P
+    else:
+        raise ValueError("invalid point encoding: no square root")
+    if x == 0:
+        if sign_bit:
+            raise ValueError("invalid point encoding: x=0 with sign bit set")
+        return 0
+    if x & 1 != sign_bit:
+        x = _P - x
+    return x
+
+
+def _decompress_cached(data: bytes) -> Point:
+    """Decompress a 32-byte point encoding through a bounded LRU.
+
+    Gossip bursts verify many signatures from few issuers, so the same
+    public-key encoding decompresses over and over; the cache turns all
+    but the first into a dict hit.  Only *successful* decompressions
+    are cached (failures raise, and the open network must not be able
+    to pin garbage).
+    """
+    cached = _decompress_cache.get(data)
+    if cached is not None:
+        _decompress_cache.move_to_end(data)
+        return cached
+    if len(data) != 32:
+        raise ValueError(f"point encoding must be 32 bytes, got {len(data)}")
+    encoded = int.from_bytes(data, "little")
+    sign_bit = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    x = _recover_x_fast(y, sign_bit)
+    point = (x, y, 1, (x * y) % _P)
+    _decompress_cache[bytes(data)] = point
+    if len(_decompress_cache) > _DECOMPRESS_CACHE_SIZE:
+        _decompress_cache.popitem(last=False)
+    return point
+
+
+# -- wNAF multi-scalar multiplication --------------------------------------
+
+_WNAF_WIDTH = 5
+
+
+def _wnaf_terms(scalar: int) -> List[Tuple[int, int]]:
+    """Sparse width-5 NAF: ``(bit_position, digit)`` pairs, digits odd
+    in ±{1, 3, ..., 15}.
+
+    Zero runs are skipped with a count-trailing-zeros jump instead of a
+    per-bit loop, so extraction costs O(nonzero digits) big-int ops
+    (~bits/6), not O(bits) — this is what keeps the batch verifier's
+    bookkeeping from eating the point-arithmetic savings.
+    """
+    terms: List[Tuple[int, int]] = []
+    position = 0
+    while scalar:
+        trailing = (scalar & -scalar).bit_length() - 1
+        if trailing:
+            scalar >>= trailing
+            position += trailing
+        digit = scalar & 31
+        if digit >= 16:
+            digit -= 32
+        terms.append((position, digit))
+        # scalar - digit is divisible by 32: jump a full window.
+        scalar = (scalar - digit) >> 5
+        position += 5
+    return terms
+
+
+def _point_neg(point: Point) -> Point:
+    x, y, z, t = point
+    return ((-x) % _P, y, z, (-t) % _P)
+
+
+def _multiscalar(pairs: Iterable[Tuple[int, Point]]) -> Point:
+    """``sum(scalar_i * point_i)`` with one shared doubling chain.
+
+    Straus interleaving: each point gets a small odd-multiples table
+    (±1P, ±3P, ..., ±15P — one doubling plus seven additions), every
+    scalar a sparse wNAF expansion, and the accumulator doubles once
+    per bit of the *longest* scalar regardless of how many pairs there
+    are.  The additions are transposed into a per-bit schedule up
+    front, so the hot loop touches only the ~bits/6 nonzero digits of
+    each scalar instead of scanning every (pair, bit) combination.
+    """
+    schedule: List[List[Point]] = []
+    for scalar, point in pairs:
+        if scalar == 0:
+            continue
+        double = _point_add(point, point)
+        table = [point]
+        for _ in range(7):
+            table.append(_point_add(table[-1], double))
+        for position, digit in _wnaf_terms(scalar):
+            addend = (table[digit >> 1] if digit > 0
+                      else _point_neg(table[(-digit) >> 1]))
+            while len(schedule) <= position:
+                schedule.append([])
+            schedule[position].append(addend)
+    if not schedule:
+        return _IDENTITY
+    point_add = _point_add
+    acc = _IDENTITY
+    for addends in reversed(schedule):
+        acc = point_add(acc, acc)
+        for addend in addends:
+            acc = point_add(acc, addend)
+    return acc
+
+
+# -- drop-in scalar API ----------------------------------------------------
+
+def public_from_secret(secret_key: bytes) -> bytes:
+    """Byte-identical to the reference, via the fixed-base table."""
+    scalar, _ = _secret_expand(secret_key)
+    return _point_compress(_mul_base(scalar))
+
+
+def sign(secret_key: bytes, message: bytes) -> bytes:
+    """Byte-identical deterministic signing; both base-point
+    multiplications (public key and commitment R) use the table."""
+    scalar, prefix = _secret_expand(secret_key)
+    public = _point_compress(_mul_base(scalar))
+    r = _sha512_int(prefix, message) % _L
+    r_point = _point_compress(_mul_base(r))
+    challenge = _sha512_int(r_point, public, message) % _L
+    s = (r + challenge * scalar) % _L
+    return r_point + s.to_bytes(32, "little")
+
+
+def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Accepts exactly the same set as the reference ``verify`` (the
+    cofactorless equation over the same decoding rules); the curve
+    arithmetic is table + wNAF instead of double-and-add."""
+    if len(public_key) != PUBLIC_KEY_SIZE or len(signature) != SIGNATURE_SIZE:
+        return False
+    try:
+        a_point = _decompress_cached(public_key)
+        r_point = _decompress_cached(signature[:32])
+    except ValueError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    challenge = _sha512_int(signature[:32], public_key, message) % _L
+    lhs = _mul_base(s)
+    rhs = _point_add(r_point, _multiscalar([(challenge, a_point)]))
+    return _point_equal(lhs, rhs)
+
+
+# -- batch verification ----------------------------------------------------
+
+_BATCH_DOMAIN = b"repro-ed25519-batch-z:"
+
+_FULL_ORDER = 8 * _L
+"""Order of the full curve group (cofactor times the prime order).
+
+Batch scalars multiplying *untrusted* points must be reduced mod 8L,
+not mod L: a scalar reduced mod L only fixes the same group element on
+the prime-order subgroup, and the whole point of the adversarial tests
+is that attacker-supplied ``A``/``R`` may carry 8-torsion components.
+Reduction mod 8L is exact for every point on the curve.
+"""
+
+
+def _batch_coefficients(items: Sequence[Tuple[bytes, bytes, bytes]],
+                        count: int) -> List[int]:
+    """Odd 128-bit coefficients derived by hashing the whole batch.
+
+    Content-derived (not drawn from the process randomness source) so
+    that replaying a batch is deterministic — whole-system simulation
+    runs stay byte-for-byte reproducible with the accel backend on —
+    and every item in the batch perturbs every coefficient.  The low
+    bit is forced to 1: odd coefficients annihilate nothing in the
+    8-torsion subgroup, which is what makes a single mixed-order or
+    small-order defect a *guaranteed* batch failure (see module
+    docstring).
+    """
+    hasher = hashlib.sha512(_BATCH_DOMAIN)
+    for public_key, message, signature in items:
+        hasher.update(len(message).to_bytes(8, "big"))
+        hasher.update(public_key)
+        hasher.update(message)
+        hasher.update(signature)
+    seed = hasher.digest()
+    coefficients = []
+    for index in range(count):
+        digest = hashlib.sha512(seed + index.to_bytes(4, "big")).digest()
+        coefficients.append(int.from_bytes(digest[:16], "little") | 1)
+    return coefficients
+
+
+def verify_batch(items: Sequence[Tuple[bytes, bytes, bytes]]) -> List[bool]:
+    """Verify ``(public_key, message, signature)`` triples as a batch.
+
+    Returns one boolean per item, with the contract that the result
+    equals ``[verify(pk, msg, sig) for ...]`` (see the module docstring
+    for the exact soundness statement).  Structurally invalid items
+    (bad lengths, non-canonical point encodings, ``s >= L``) are
+    rejected up front without touching the combined equation; if the
+    combined equation fails, every remaining item is verified
+    individually.
+    """
+    results: List[Optional[bool]] = [None] * len(items)
+    survivors: List[int] = []
+    decoded: List[Tuple[bytes, Point, bytes, Point, int, int]] = []
+    for index, (public_key, message, signature) in enumerate(items):
+        if (len(public_key) != PUBLIC_KEY_SIZE
+                or len(signature) != SIGNATURE_SIZE):
+            results[index] = False
+            continue
+        try:
+            a_point = _decompress_cached(public_key)
+            r_point = _decompress_cached(signature[:32])
+        except ValueError:
+            results[index] = False
+            continue
+        s = int.from_bytes(signature[32:], "little")
+        if s >= _L:
+            results[index] = False
+            continue
+        challenge = _sha512_int(signature[:32], public_key, message) % _L
+        survivors.append(index)
+        decoded.append((public_key, a_point, signature[:32], r_point,
+                        s, challenge))
+
+    if not survivors:
+        return [bool(r) for r in results]
+    if len(survivors) == 1:
+        index = survivors[0]
+        results[index] = verify(*items[index])
+        return [bool(r) for r in results]
+
+    coefficients = _batch_coefficients(items, len(survivors))
+    combined_s = 0
+    # Merge pairs that share a point: a burst signed by few issuers
+    # collapses all its A-columns into one scalar per distinct public
+    # key (pure regrouping — sums of scalar multiples of the *same*
+    # point — so the combined equation's value is untouched).  Scalars
+    # reduce mod 8L, which is exact for torsion-carrying points too.
+    merged: Dict[bytes, List[object]] = {}
+    for z, (pk_enc, a_point, r_enc, r_point, s, challenge) in zip(
+            coefficients, decoded):
+        combined_s = (combined_s + z * s) % _L
+        r_slot = merged.get(r_enc)
+        if r_slot is None:
+            merged[r_enc] = [z, r_point]
+        else:
+            r_slot[0] += z
+        a_slot = merged.get(pk_enc)
+        if a_slot is None:
+            merged[pk_enc] = [z * challenge, a_point]
+        else:
+            a_slot[0] += z * challenge
+    lhs = _mul_base(combined_s)
+    rhs = _multiscalar((scalar % _FULL_ORDER, point)
+                       for scalar, point in merged.values())
+    if _point_equal(lhs, rhs):
+        for index in survivors:
+            results[index] = True
+    else:
+        for index in survivors:
+            results[index] = verify(*items[index])
+    return [bool(r) for r in results]

@@ -1,0 +1,151 @@
+"""Opt-in multiprocessing lane for PoW grinding and signature checks.
+
+The discrete-event simulator is single-threaded and deterministic; a
+worker pool must not change *any* observable result, only wall-clock
+time.  Two rules make that hold:
+
+* **PoW** — the pooled solver scans the nonce space in contiguous
+  chunks dispatched as waves across the workers, then takes the hit
+  from the *earliest* chunk.  Sequential ``hashcash.solve`` returns the
+  first hit in scan order; the first hit in scan order necessarily
+  lives in the earliest chunk that has any hit, at the smallest offset
+  within it — which is exactly what each worker reports.  The pooled
+  solve therefore returns the identical ``(nonce, attempts)`` pair.
+* **Signatures** — verification is a pure function; ``verify_many``
+  just maps it across workers and preserves input order.
+
+The pool lives at the *deployment* level (one per
+:class:`~repro.core.biot.BIoTSystem`), never inside node event
+handlers, so event scheduling is untouched.  Pool creation is lazy and
+failure-tolerant: on platforms where ``multiprocessing`` is
+unavailable (restricted sandboxes), everything silently runs
+sequentially with the same results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+from ...pow import hashcash
+from ...pow.hashcash import NONCE_SIZE, ProofOfWork
+from ..hashing import double_sha256, leading_zero_bits
+from . import ed25519_accel
+
+__all__ = ["CryptoPool", "DEFAULT_CHUNK_SIZE"]
+
+DEFAULT_CHUNK_SIZE = 8192
+"""Nonces per worker chunk: large enough to amortise dispatch overhead
+(a chunk is ~8k double-SHA256 calls), small enough that low-difficulty
+solves do not grind far past the answer."""
+
+
+def _scan_chunk(task: Tuple[bytes, int, int, int]) -> Optional[int]:
+    """Worker: first nonce in ``[start, start+length)`` (wrapping mod
+    2**64) meeting *difficulty*, or None.  Top-level so it pickles."""
+    challenge, difficulty, start, length = task
+    nonce = start
+    for _ in range(length):
+        digest = double_sha256(challenge + nonce.to_bytes(NONCE_SIZE, "big"))
+        if leading_zero_bits(digest) >= difficulty:
+            return nonce
+        nonce = (nonce + 1) % 2 ** 64
+    return None
+
+
+def _verify_one(item: Tuple[bytes, bytes, bytes]) -> bool:
+    """Worker: one accelerated (= reference-identical) verification."""
+    public_key, message, signature = item
+    return ed25519_accel.verify(public_key, message, signature)
+
+
+class CryptoPool:
+    """Deployment-scoped worker pool for crypto-heavy inner loops.
+
+    Args:
+        workers: process count; 1 means "never fork, run inline".
+        chunk_size: nonces per PoW scan chunk (see the determinism
+            argument in the module docstring — any chunk size yields
+            the same answer, it only tunes dispatch granularity).
+    """
+
+    def __init__(self, workers: int, *, chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._unavailable = False
+
+    def _ensure_pool(self):
+        if self._pool is None and not self._unavailable and self.workers > 1:
+            try:
+                self._pool = multiprocessing.Pool(self.workers)
+            except (OSError, ValueError, ImportError):
+                # Restricted environments (no /dev/shm, no fork): stay
+                # sequential — identical results, just single-core.
+                self._unavailable = True
+        return self._pool
+
+    def solve(self, challenge: bytes, difficulty: int, *,
+              start_nonce: int = 0,
+              max_attempts: int = None) -> ProofOfWork:
+        """Drop-in for :func:`repro.pow.hashcash.solve`: same
+        ``(nonce, attempts)``, scanned across the pool's workers.
+
+        A *max_attempts* bound runs sequentially — the bound is a
+        test/DoS-budget construct, and honouring it exactly mid-chunk
+        costs the parallel path its simplicity for no production win.
+        """
+        if max_attempts is not None:
+            return hashcash.solve(challenge, difficulty,
+                                  start_nonce=start_nonce,
+                                  max_attempts=max_attempts)
+        pool = self._ensure_pool()
+        if pool is None:
+            return hashcash.solve(challenge, difficulty,
+                                  start_nonce=start_nonce)
+        if not hashcash.MIN_DIFFICULTY <= difficulty <= hashcash.MAX_DIFFICULTY:
+            raise ValueError(
+                f"difficulty must be in [{hashcash.MIN_DIFFICULTY}, "
+                f"{hashcash.MAX_DIFFICULTY}], got {difficulty}")
+        start = start_nonce % 2 ** 64
+        scanned = 0
+        while True:
+            tasks = [
+                (challenge, difficulty,
+                 (start + scanned + index * self.chunk_size) % 2 ** 64,
+                 self.chunk_size)
+                for index in range(self.workers)
+            ]
+            for hit in pool.map(_scan_chunk, tasks):
+                if hit is not None:
+                    attempts = ((hit - start) % 2 ** 64) + 1
+                    return ProofOfWork(nonce=hit, attempts=attempts,
+                                       difficulty=difficulty)
+            scanned += self.workers * self.chunk_size
+
+    def verify_many(
+            self, items: Sequence[Tuple[bytes, bytes, bytes]]) -> List[bool]:
+        """Order-preserving parallel map of signature verification."""
+        items = list(items)
+        pool = self._ensure_pool() if len(items) > 1 else None
+        if pool is None:
+            return [_verify_one(item) for item in items]
+        chunksize = max(1, len(items) // self.workers)
+        return pool.map(_verify_one, items, chunksize=chunksize)
+
+    def close(self) -> None:
+        """Tear down worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "CryptoPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -29,8 +29,9 @@ RPC message kinds:
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..core.acl import AuthorizationList, GenesisConfig
 from ..core.consensus import CreditBasedConsensus
@@ -54,7 +55,11 @@ from ..tangle.transaction import (
     TransactionDecodeCache,
     TransactionKind,
 )
-from ..tangle.validation import VerificationCache, crypto_validator
+from ..tangle.validation import (
+    PreverifiedSet,
+    VerificationCache,
+    crypto_validator,
+)
 
 __all__ = ["FullNode", "FullNodeStats"]
 
@@ -127,6 +132,22 @@ class FullNode(NetworkNode):
             TransactionDecodeCache`; gossip/sync/submit payload bytes
             already decoded (by this node or a cache-sharing peer) are
             served as the same immutable instance instead of re-parsed.
+        crypto_backend: name of the Ed25519 implementation verifying
+            signatures — ``"reference"`` (the from-scratch module) or
+            ``"accel"`` (precomputed tables, wNAF, batch equation; see
+            :mod:`repro.crypto.accel`).  Both accept exactly the same
+            signatures; multi-transaction messages (sync, parent and
+            ``gossip_batch`` responses) are verified through the
+            backend's batch path.
+        crypto_pool: optional :class:`~repro.crypto.accel.CryptoPool`;
+            when present, batch signature checks fan out across its
+            worker processes (same verdicts, more cores).  Shared at
+            deployment level — see ``BIoTConfig.pow_workers``.
+        gossip_batch_size: max transactions coalesced into one outgoing
+            ``gossip_batch`` message when a burst ingests together.  1
+            (default) floods every transaction individually the moment
+            it attaches — byte-identical wire behaviour to nodes
+            without batching.
         telemetry: a :class:`~repro.telemetry.MetricsRegistry` shared
             across the deployment; threaded into this node's tangle,
             gossip relay and solidification accounting.  ``None`` keeps
@@ -149,6 +170,9 @@ class FullNode(NetworkNode):
                  weight_flush_interval: int = DEFAULT_WEIGHT_FLUSH_INTERVAL,
                  verification_cache: Optional[VerificationCache] = None,
                  decode_cache: Optional[TransactionDecodeCache] = None,
+                 crypto_backend: str = "reference",
+                 crypto_pool=None,
+                 gossip_batch_size: int = 1,
                  telemetry=None, lifecycle=None):
         super().__init__(address)
         self.telemetry = coerce_registry(telemetry)
@@ -182,6 +206,19 @@ class FullNode(NetworkNode):
         self.verification_cache = verification_cache
         self.decode_cache = decode_cache
         self._enforce_pow = enforce_pow
+        # Imported lazily: repro.crypto.accel pulls in repro.pow, which
+        # this module's own import chain already passes through.
+        from ..crypto.accel import get_backend
+        if gossip_batch_size < 1:
+            raise ValueError(
+                f"gossip_batch_size must be >= 1, got {gossip_batch_size}")
+        self._crypto_backend = get_backend(crypto_backend)
+        self._crypto_pool = crypto_pool
+        self.gossip_batch_size = gossip_batch_size
+        self._preverified = PreverifiedSet()
+        # peer -> pending encoded floods, non-None only while a batch
+        # entry point is coalescing (see _batched_flood).
+        self._flood_buffer: Optional[Dict[str, List[bytes]]] = None
         self.tangle = Tangle(genesis, validators=self._base_validators(),
                              weight_flush_interval=weight_flush_interval,
                              telemetry=self.telemetry)
@@ -207,6 +244,20 @@ class FullNode(NetworkNode):
             "repro_retry_backoff_seconds",
             "Jittered backoff delays armed by recovery loops",
             buckets=SECONDS_BUCKETS)
+        self._m_crypto_batch_rounds = self.telemetry.counter(
+            "repro_crypto_batch_rounds_total",
+            "Batch signature-verification rounds run on ingest bursts")
+        self._m_crypto_batch_verified = self.telemetry.counter(
+            "repro_crypto_batch_verified_total",
+            "Signatures accepted through batch verification")
+        self._m_crypto_batch_fallback = self.telemetry.counter(
+            "repro_crypto_batch_fallback_total",
+            "Batch items rejected by the combined equation and settled "
+            "by individual verification")
+        self._m_crypto_batch_size = self.telemetry.histogram(
+            "repro_crypto_batch_size",
+            "Transactions per batch signature-verification round",
+            buckets=(2, 4, 8, 16, 32, 64, 128, 256))
         # parent hash -> {"attempt": int, "source": peer or None}
         self._parent_requests: Dict[bytes, Dict] = {}
         # Transactions at or before this ledger time have their credit
@@ -222,7 +273,9 @@ class FullNode(NetworkNode):
         owns (initial, snapshot-restored, cold-restored) must run."""
         return [
             crypto_validator(allow_simulated_pow=not self._enforce_pow,
-                             cache=self.verification_cache),
+                             cache=self.verification_cache,
+                             backend=self._crypto_backend,
+                             preverified=self._preverified),
         ]
 
     # -- peers -------------------------------------------------------------
@@ -428,6 +481,7 @@ class FullNode(NetworkNode):
             "get_tips_request": self._handle_get_tips,
             "submit_transaction": self._handle_submit,
             "gossip_transaction": self._handle_gossip,
+            "gossip_batch": self._handle_gossip_batch,
             "sync_request": self._handle_sync_request,
             "sync_response": self._handle_sync_response,
             "parent_request": self._handle_parent_request,
@@ -496,6 +550,10 @@ class FullNode(NetworkNode):
         tx = self._decode(message.body["transaction"])
         self._ingest(tx, source=message.sender, admit=False)
 
+    def _handle_gossip_batch(self, message: Message) -> None:
+        self._ingest_batch(message.body.get("transactions", ()),
+                           source=message.sender)
+
     # -- anti-entropy sync -------------------------------------------------
 
     def request_sync(self, peer: str) -> bool:
@@ -521,14 +579,9 @@ class FullNode(NetworkNode):
                   size_bytes=sum(len(m) for m in missing))
 
     def _handle_sync_response(self, message: Message) -> None:
-        for encoded in message.body.get("transactions", ()):
-            try:
-                tx = self._decode(encoded)
-            except ValueError:
-                continue  # a corrupt entry must not poison the batch
-            ok, _ = self._ingest(tx, source=message.sender, admit=False)
-            if ok:
-                self.stats.sync_transactions_received += 1
+        accepted = self._ingest_batch(message.body.get("transactions", ()),
+                                      source=message.sender)
+        self.stats.sync_transactions_received += accepted
 
     def resync_with_peers(self) -> int:
         """Anti-entropy sweep against every gossip peer (post-heal or
@@ -641,12 +694,8 @@ class FullNode(NetworkNode):
         return [self.tangle.get(h).to_bytes() for h in chain]
 
     def _handle_parent_response(self, message: Message) -> None:
-        for encoded in message.body.get("transactions", ()):
-            try:
-                tx = self._decode(encoded)
-            except ValueError:
-                continue
-            self._ingest(tx, source=message.sender, admit=False)
+        self._ingest_batch(message.body.get("transactions", ()),
+                           source=message.sender)
 
     # -- ingestion -------------------------------------------------------
 
@@ -655,6 +704,102 @@ class FullNode(NetworkNode):
         traffic) and gossip it."""
         ok, _ = self._ingest(tx, source=None, admit=True)
         return ok
+
+    def _ingest_batch(self, encoded_transactions, *, source: Optional[str]) -> int:
+        """Shared path for multi-transaction messages (sync, parent and
+        gossip-batch responses): decode everything, batch-verify the
+        signatures once, then attach in order.  Returns how many
+        attached.  Corrupt entries are skipped without poisoning the
+        rest, exactly as the per-item loops did."""
+        transactions: List[Transaction] = []
+        for encoded in encoded_transactions:
+            try:
+                transactions.append(self._decode(encoded))
+            except ValueError:
+                continue
+        self._preverify(transactions)
+        accepted = 0
+        with self._batched_flood():
+            for tx in transactions:
+                ok, _ = self._ingest(tx, source=source, admit=False)
+                if ok:
+                    accepted += 1
+        return accepted
+
+    def _preverify(self, transactions: List[Transaction]) -> None:
+        """Batch-verify a burst's signatures ahead of per-item attach.
+
+        Instances already verified (verification cache) or already
+        batch-verified (preverified set) are skipped; everything else
+        goes through the backend's batch equation in one round — for
+        the accel backend that is one multi-scalar multiplication
+        instead of N sequential verifies.  Positive verdicts are parked
+        in the :class:`~repro.tangle.validation.PreverifiedSet` for the
+        validator to consume; negative ones are left for the validator
+        to re-verify (and reject) individually, so batch and sequential
+        ingestion always agree transaction by transaction.
+        """
+        pending: List[Transaction] = []
+        seen = set()
+        for tx in transactions:
+            digest = tx.full_digest
+            if digest in seen or digest in self._preverified:
+                continue
+            if (self.verification_cache is not None
+                    and digest in self.verification_cache):
+                continue
+            seen.add(digest)
+            pending.append(tx)
+        if len(pending) < 2:
+            return  # nothing to amortise; the validator handles singles
+        items = [(tx.issuer.sign_public, tx.tx_hash, tx.signature)
+                 for tx in pending]
+        if self._crypto_pool is not None:
+            verdicts = self._crypto_pool.verify_many(items)
+        else:
+            verdicts = self._crypto_backend.verify_batch(items)
+        passed = 0
+        for tx, ok in zip(pending, verdicts):
+            if ok:
+                self._preverified.add(tx.full_digest)
+                passed += 1
+        self._m_crypto_batch_rounds.inc()
+        self._m_crypto_batch_size.observe(len(pending))
+        self._m_crypto_batch_verified.inc(passed)
+        if passed != len(pending):
+            self._m_crypto_batch_fallback.inc(len(pending) - passed)
+
+    @contextmanager
+    def _batched_flood(self):
+        """Coalesce floods emitted while the body runs into per-peer
+        ``gossip_batch`` messages (chunked at ``gossip_batch_size``).
+
+        With batch size 1 — the default — this is a no-op and every
+        attach floods immediately as its own ``gossip_transaction``,
+        preserving the exact pre-batching wire behaviour and event
+        schedule.  Chunks of one are likewise sent as plain
+        ``gossip_transaction`` so peers see no format change.
+        """
+        if self.gossip_batch_size <= 1 or self._flood_buffer is not None:
+            yield
+            return
+        self._flood_buffer = {}
+        try:
+            yield
+        finally:
+            buffer, self._flood_buffer = self._flood_buffer, None
+            for peer, encoded_list in buffer.items():
+                for start in range(0, len(encoded_list),
+                                   self.gossip_batch_size):
+                    chunk = encoded_list[start:start + self.gossip_batch_size]
+                    if len(chunk) == 1:
+                        self.send(peer, "gossip_transaction",
+                                  {"transaction": chunk[0]},
+                                  size_bytes=len(chunk[0]))
+                    else:
+                        self.send(peer, "gossip_batch",
+                                  {"transactions": chunk},
+                                  size_bytes=sum(len(c) for c in chunk))
 
     def _ingest(self, tx: Transaction, *, source: Optional[str],
                 admit: bool) -> tuple:
@@ -766,7 +911,12 @@ class FullNode(NetworkNode):
 
     def _flood(self, tx: Transaction, *, exclude: Optional[str]) -> None:
         encoded = tx.to_bytes()
-        for peer in self.relay.relay_targets(tx.tx_hash, exclude=exclude):
+        targets = self.relay.relay_targets(tx.tx_hash, exclude=exclude)
+        if self._flood_buffer is not None:
+            for peer in targets:
+                self._flood_buffer.setdefault(peer, []).append(encoded)
+            return
+        for peer in targets:
             self.send(peer, "gossip_transaction", {"transaction": encoded},
                       size_bytes=len(encoded))
 

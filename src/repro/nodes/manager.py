@@ -104,6 +104,7 @@ class ManagerNode(FullNode):
         self.engine = PowEngine(
             self.profile, network.scheduler.clock,
             rng=self.rng, advance_clock=False,
+            pool=self._crypto_pool,
             telemetry=self.telemetry,
         )
 

@@ -86,18 +86,22 @@ def solve(challenge: bytes, difficulty: int, *, start_nonce: int = 0,
     """
     _check_difficulty(difficulty)
     attempts = 0
-    nonce = start_nonce
+    # Wrap the *iteration*, not just the digest input: a start_nonce near
+    # 2**64 must continue the scan at 0 with the loop counter in step, or
+    # the returned nonce and the attempt count stop describing the same
+    # sequence of distinct candidates.
+    nonce = start_nonce % 2 ** 64
     while True:
         attempts += 1
-        digest = double_sha256(challenge + (nonce % 2 ** 64).to_bytes(NONCE_SIZE, "big"))
+        digest = double_sha256(challenge + nonce.to_bytes(NONCE_SIZE, "big"))
         if leading_zero_bits(digest) >= difficulty:
-            return ProofOfWork(nonce=nonce % 2 ** 64, attempts=attempts,
+            return ProofOfWork(nonce=nonce, attempts=attempts,
                                difficulty=difficulty)
         if max_attempts is not None and attempts >= max_attempts:
             raise RuntimeError(
                 f"PoW at difficulty {difficulty} unsolved after {attempts} attempts"
             )
-        nonce += 1
+        nonce = (nonce + 1) % 2 ** 64
 
 
 def verify(challenge: bytes, nonce: int, difficulty: int) -> bool:
@@ -121,8 +125,12 @@ def sample_attempts(difficulty: int, rng: random.Random) -> int:
     """
     _check_difficulty(difficulty)
     success_probability = 2.0 ** -difficulty
-    # Inverse-CDF sampling of the geometric distribution.
+    # Inverse-CDF sampling of the geometric distribution.  The
+    # denominator must be log1p(-p), not log(1-p): for difficulty >= 53
+    # the float 1.0 - 2**-D rounds to exactly 1.0 and log(1.0) == 0.0
+    # divides by zero, while log1p keeps full precision out to the
+    # 2**-256 tail (MAX_DIFFICULTY).
     uniform = rng.random()
     while uniform <= 0.0:  # guard against random() == 0.0
         uniform = rng.random()
-    return max(1, math.ceil(math.log(uniform) / math.log(1.0 - success_probability)))
+    return max(1, math.ceil(math.log(uniform) / math.log1p(-success_probability)))

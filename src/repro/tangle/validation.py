@@ -36,8 +36,10 @@ __all__ = [
     "timestamp_validator",
     "detect_lazy_approval",
     "VerificationCache",
+    "PreverifiedSet",
     "DEFAULT_MAX_PARENT_AGE",
     "DEFAULT_VERIFY_CACHE_SIZE",
+    "DEFAULT_PREVERIFIED_SIZE",
 ]
 
 DEFAULT_MAX_PARENT_AGE = 30.0
@@ -147,9 +149,57 @@ class VerificationCache:
             self.evictions += 1
 
 
+DEFAULT_PREVERIFIED_SIZE = 8192
+"""Default capacity of a :class:`PreverifiedSet`: comfortably larger
+than any single sync/parent/gossip batch plus its parked descendants."""
+
+
+class PreverifiedSet:
+    """Bounded set of ``full_digest`` values whose *signatures* were
+    already checked by a batch verifier ahead of attach.
+
+    A batch-ingesting node verifies a burst's signatures in one
+    random-linear-combination equation, then attaches the transactions
+    one by one; this set carries the positive verdicts from the batch
+    step to the per-transaction :func:`crypto_validator` run.  Entries
+    are consumed on use (each covers exactly one attach) and evicted
+    FIFO past *max_size* — an entry evicted early (its transaction
+    parked for a long time, or rejected for non-signature reasons)
+    just means the signature is re-verified individually, never that
+    verification is skipped.
+
+    Only *signature* verdicts live here: PoW is per-instance cheap (one
+    double-SHA256) and stays in the validator.
+    """
+
+    def __init__(self, max_size: int = DEFAULT_PREVERIFIED_SIZE):
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.max_size = max_size
+        self._digests: "OrderedDict[bytes, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._digests
+
+    def add(self, digest: bytes) -> None:
+        self._digests[digest] = None
+        if len(self._digests) > self.max_size:
+            self._digests.popitem(last=False)
+
+    def consume(self, digest: bytes) -> bool:
+        """True (and the entry is removed) when *digest* was batch-
+        verified; False when it must be verified individually."""
+        return self._digests.pop(digest, False) is None
+
+
 def crypto_validator(*, min_difficulty: int = 1,
                      allow_simulated_pow: bool = False,
-                     cache: Optional[VerificationCache] = None) -> Validator:
+                     cache: Optional[VerificationCache] = None,
+                     backend=None,
+                     preverified: Optional[PreverifiedSet] = None) -> Validator:
     """Build a validator enforcing PoW and signature correctness.
 
     Args:
@@ -167,7 +217,23 @@ def crypto_validator(*, min_difficulty: int = 1,
             check still run per call — they are O(1) comparisons and
             the floor is validator-local policy, not a property of the
             transaction.
+        backend: optional :class:`~repro.crypto.accel.CryptoBackend`
+            used for the signature check; None keeps the node's
+            built-in reference path (``tx.verify_signature()``).  All
+            registered backends accept exactly the same signatures, so
+            this choice never changes a verdict, only its cost.
+        preverified: optional :class:`PreverifiedSet` carrying positive
+            batch-verification verdicts; a transaction found there
+            skips the individual signature check (the entry is consumed).
     """
+
+    def verify_signature(tx: Transaction) -> bool:
+        if preverified is not None and preverified.consume(tx.full_digest):
+            return True
+        if backend is not None:
+            return backend.verify(tx.issuer.sign_public, tx.tx_hash,
+                                  tx.signature)
+        return tx.verify_signature()
 
     def validate(tangle: Tangle, tx: Transaction) -> None:
         if tx.difficulty < min_difficulty:
@@ -181,7 +247,7 @@ def crypto_validator(*, min_difficulty: int = 1,
             if enforce_pow and not tx.verify_pow():
                 raise InvalidPowError(f"{tx.short_hash} nonce fails difficulty "
                                       f"{tx.difficulty}")
-            if not tx.verify_signature():
+            if not verify_signature(tx):
                 raise InvalidSignatureError(f"{tx.short_hash} signature invalid")
             if cache is not None:
                 cache.confirm(tx.full_digest, pow_verified=enforce_pow)

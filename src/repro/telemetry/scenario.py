@@ -25,6 +25,10 @@ drive all five instrumented subsystems:
   to an instrumented store, checkpointed (with pruning), extended, and
   loaded back, driving every ``repro_storage_*`` write/flush/replay
   counter.
+* **crypto** — a batch-verification probe: a burst of fresh
+  transactions (one with a corrupted signature) is fed through a
+  gateway's batch-ingest path, driving the ``repro_crypto_batch_*``
+  round/size/verified/fallback instruments.
 * **trace/lifecycle** — every submission round is sampled by the
   :class:`~repro.telemetry.lifecycle.LifecycleTracker`, and a final
   confirmation sweep plus ``finalize()`` drive the ``repro_trace_*``
@@ -39,11 +43,16 @@ __all__ = ["run_smoke_scenario", "run_trace_scenario"]
 
 def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
                        gateway_count: int = 2, seconds: float = 40.0,
-                       report_interval: float = 2.0):
+                       report_interval: float = 2.0,
+                       crypto_backend: str = "reference",
+                       pow_workers: int = 0):
     """Build, run and return a telemetry-enabled :class:`BIoTSystem`.
 
     The returned system's ``telemetry`` registry and ``tracer`` hold
     the full run; ``telemetry.unobserved()`` is expected to be empty.
+    *crypto_backend* / *pow_workers* select the accelerated crypto lane
+    (CI runs the scenario under both configurations — the instrument
+    catalog and the scenario outcome must not depend on the backend).
     """
     # Imported lazily: repro.core.biot itself imports repro.telemetry.
     from ..core.biot import BIoTConfig, BIoTSystem
@@ -56,6 +65,8 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
         initial_difficulty=8,
         tip_alpha=0.05,
         telemetry=True,
+        crypto_backend=crypto_backend,
+        pow_workers=pow_workers,
     )
     system = BIoTSystem.build(config)
     system.initialize()
@@ -72,6 +83,7 @@ def run_smoke_scenario(*, seed: int = 42, device_count: int = 4,
 
     _run_recovery_probe(system)
     _run_storage_probe(system)
+    _run_crypto_probe(system)
 
     # Lifecycle close-out: the confirmation sweep and finalize() drive
     # the confirmation-latency histogram and the propagation-coverage
@@ -183,6 +195,43 @@ def _run_recovery_probe(system) -> None:
     system.manager.distribute_key(casualty.address, casualty.keypair.public)
     system.run_for(40.0)
     network.bring_up(casualty.address)
+
+
+def _run_crypto_probe(system) -> None:
+    """Drive the ``repro_crypto_batch_*`` instruments deterministically.
+
+    The smoke deployment floods transactions one at a time (batch size
+    1), so the batch verifier would otherwise stay silent.  The probe
+    issues a small burst of fresh, correctly signed transactions plus
+    one with a corrupted signature and pushes them through a gateway's
+    batch-ingest path: the round/size/verified counters fire for the
+    good ones, and the corrupted one exercises the fallback counter
+    (batch rejection settled by individual verification).
+    """
+    from dataclasses import replace
+
+    from ..tangle.transaction import Transaction, TransactionKind
+
+    gateway = system.gateways[0]
+    keypair = next(iter(system.device_keys.values()))
+    now = system.scheduler.clock.now()
+    burst = []
+    for index in range(3):
+        branch, trunk = gateway.tip_selector.select(gateway.tangle,
+                                                    gateway.rng)
+        burst.append(Transaction.create(
+            keypair,
+            kind=TransactionKind.DATA,
+            payload=b"crypto-probe-%d" % index,
+            timestamp=now,
+            branch=branch,
+            trunk=trunk,
+            difficulty=1,
+        ))
+    bad_signature = bytes(64)
+    corrupted = replace(burst[-1], signature=bad_signature)
+    gateway._ingest_batch(
+        [tx.to_bytes() for tx in burst[:-1] + [corrupted]], source=None)
 
 
 def _run_storage_probe(system) -> None:

@@ -1,0 +1,126 @@
+"""Tests for repro.crypto.accel.pool: pooled PoW and verification.
+
+The pool's contract is determinism: pooled ``solve`` must return the
+*identical* ``(nonce, attempts)`` pair as sequential
+``hashcash.solve``, and ``verify_many`` must preserve input order and
+agree with per-item verification — on every platform, including ones
+where ``multiprocessing`` is unavailable and the pool silently runs
+sequentially.
+"""
+
+import pytest
+
+from repro.crypto.accel import CryptoPool
+from repro.crypto.accel.pool import _scan_chunk, _verify_one
+from repro.crypto.ed25519 import generate_secret_key, public_from_secret, sign
+from repro.pow import hashcash
+
+CHALLENGE = b"pool-test-challenge"
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with CryptoPool(2, chunk_size=512) as shared:
+        yield shared
+
+
+class TestPooledSolve:
+    @pytest.mark.parametrize("difficulty,start_nonce", [
+        (8, 0),
+        (8, 5000),
+        (12, 0),
+        (10, 123456),
+        (8, 2 ** 64 - 2),  # wrap-around boundary
+    ])
+    def test_matches_sequential(self, pool, difficulty, start_nonce):
+        expected = hashcash.solve(CHALLENGE, difficulty,
+                                  start_nonce=start_nonce)
+        got = pool.solve(CHALLENGE, difficulty, start_nonce=start_nonce)
+        assert (got.nonce, got.attempts) == (expected.nonce,
+                                             expected.attempts)
+        assert got.difficulty == difficulty
+        assert hashcash.verify(CHALLENGE, got.nonce, difficulty)
+
+    def test_max_attempts_delegates_sequentially(self, pool):
+        expected = hashcash.solve(CHALLENGE, 8, max_attempts=10 ** 6)
+        got = pool.solve(CHALLENGE, 8, max_attempts=10 ** 6)
+        assert (got.nonce, got.attempts) == (expected.nonce,
+                                             expected.attempts)
+
+    def test_difficulty_validated(self, pool):
+        with pytest.raises(ValueError):
+            pool.solve(CHALLENGE, hashcash.MAX_DIFFICULTY + 1)
+
+    def test_single_worker_runs_inline(self):
+        with CryptoPool(1) as inline:
+            expected = hashcash.solve(CHALLENGE, 8)
+            got = inline.solve(CHALLENGE, 8)
+            assert (got.nonce, got.attempts) == (expected.nonce,
+                                                 expected.attempts)
+            assert inline._pool is None  # never forked
+
+    def test_scan_chunk_wraps(self):
+        # A chunk straddling 2**64 scans ... 2**64-1, 0, 1 ... and
+        # reports the first hit in that (wrapped) order, or None.
+        hit = _scan_chunk((CHALLENGE, 1, 2 ** 64 - 2, 64))
+        assert hit is not None
+        expected = hashcash.solve(CHALLENGE, 1, start_nonce=2 ** 64 - 2)
+        assert hit == expected.nonce
+
+
+class TestVerifyMany:
+    def _items(self, count):
+        items = []
+        for i in range(count):
+            secret = generate_secret_key(seed=b"pool-%d" % i)
+            message = b"m%d" % i
+            items.append((public_from_secret(secret), message,
+                          sign(secret, message)))
+        return items
+
+    def test_order_preserving_agreement(self, pool):
+        items = self._items(6)
+        items[2] = (items[2][0], b"tampered", items[2][2])
+        items[4] = (items[4][0], items[4][1], bytes(64))
+        expected = [_verify_one(item) for item in items]
+        assert expected == [True, True, False, True, False, True]
+        assert pool.verify_many(items) == expected
+
+    def test_empty_and_single(self, pool):
+        assert pool.verify_many([]) == []
+        (item,) = self._items(1)
+        assert pool.verify_many([item]) == [True]
+
+
+class TestLifecycle:
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            CryptoPool(0)
+        with pytest.raises(ValueError):
+            CryptoPool(2, chunk_size=0)
+
+    def test_close_is_idempotent(self):
+        pool = CryptoPool(2)
+        pool.solve(CHALLENGE, 4)
+        pool.close()
+        pool.close()
+        # Post-close use lazily re-creates the pool.
+        proof = pool.solve(CHALLENGE, 4)
+        assert hashcash.verify(CHALLENGE, proof.nonce, 4)
+        pool.close()
+
+    def test_unavailable_platform_falls_back(self, monkeypatch):
+        import multiprocessing
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no fork in this sandbox")
+
+        monkeypatch.setattr(multiprocessing, "Pool", broken_pool)
+        pool = CryptoPool(4)
+        expected = hashcash.solve(CHALLENGE, 8)
+        got = pool.solve(CHALLENGE, 8)
+        assert (got.nonce, got.attempts) == (expected.nonce,
+                                             expected.attempts)
+        assert pool._unavailable
+        items = [(b"\x00" * 32, b"m", bytes(64))] * 2
+        assert pool.verify_many(items) == [False, False]

@@ -1,0 +1,100 @@
+"""Whole-deployment differential test: accel backend vs reference.
+
+The accel lane (fixed-base tables, batch verification, worker pool) is
+only admissible if a full simulated deployment produces *bit-identical*
+results: same tangle content on every replica, same ledger balances,
+same statistics.  Sensitive-sensor payload encryption draws AES IVs
+from the process randomness source, so the runs are pinned with
+``rand.deterministic`` — exactly how ``repro trace`` achieves
+byte-stable artifacts.
+"""
+
+import pytest
+
+from repro.core.biot import BIoTConfig, BIoTSystem
+from repro.crypto import rand
+
+
+def run_deployment(*, crypto_backend="reference", pow_workers=0,
+                   gossip_batch_size=1, seconds=8.0):
+    """Run a small deployment and return its state fingerprint."""
+    with rand.deterministic(b"crypto-backends:bit-identity"):
+        config = BIoTConfig(
+            device_count=3,
+            gateway_count=2,
+            seed=11,
+            initial_difficulty=8,
+            tip_alpha=0.05,
+            crypto_backend=crypto_backend,
+            pow_workers=pow_workers,
+            gossip_batch_size=gossip_batch_size,
+        )
+        system = BIoTSystem.build(config)
+        try:
+            system.initialize()
+            system.start_devices()
+            system.run_for(seconds)
+            fingerprint = {
+                node.address: (
+                    sorted(tx.full_digest for tx in node.tangle),
+                    sorted(node.ledger._balances.items()),
+                )
+                for node in system.full_nodes
+            }
+        finally:
+            system.close()
+    return fingerprint
+
+
+@pytest.fixture(scope="module")
+def reference_fingerprint():
+    return run_deployment()
+
+
+class TestBitIdentity:
+    def test_reference_run_is_repeatable(self, reference_fingerprint):
+        assert run_deployment() == reference_fingerprint
+
+    def test_accel_matches_reference(self, reference_fingerprint):
+        assert run_deployment(
+            crypto_backend="accel") == reference_fingerprint
+
+    def test_accel_with_pool_matches_reference(self, reference_fingerprint):
+        assert run_deployment(
+            crypto_backend="accel",
+            pow_workers=2) == reference_fingerprint
+
+
+class TestBatchedGossipDeployment:
+    def test_replicas_converge_under_batched_flooding(self):
+        # Flood batching legitimately reorders wire traffic (that is
+        # the point), so the promise is weaker than bit-identity with
+        # the unbatched run: after the devices stop and in-flight
+        # gossip drains, every full node holds the same tangle.
+        with rand.deterministic(b"crypto-backends:batched"):
+            config = BIoTConfig(
+                device_count=3,
+                gateway_count=2,
+                seed=11,
+                initial_difficulty=8,
+                tip_alpha=0.05,
+                crypto_backend="accel",
+                gossip_batch_size=4,
+            )
+            system = BIoTSystem.build(config)
+            try:
+                system.initialize()
+                system.start_devices()
+                system.run_for(8.0)
+                for device in system.devices:
+                    device.stop()
+                system.run_for(5.0)
+                tangles = [
+                    sorted(tx.full_digest for tx in node.tangle)
+                    for node in system.full_nodes
+                ]
+                assert len(tangles[0]) > 1  # traffic actually flowed
+                for other in tangles[1:]:
+                    assert other == tangles[0]
+            finally:
+                system.close()

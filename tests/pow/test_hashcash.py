@@ -54,6 +54,30 @@ class TestSolve:
         proof = solve(b"c", 4, start_nonce=1000)
         assert proof.nonce >= 1000
 
+    def test_start_nonce_wraps_at_64_bits(self):
+        # Regression: a start near 2**64 must wrap the *iteration* onto
+        # 0, 1, 2, ... — not just the digest input — so the returned
+        # nonce is always a real 64-bit value, the attempt count keeps
+        # matching the number of distinct nonces tried, and the solution
+        # verifies under the same wire-range check all validators apply.
+        proof = solve(b"wrap", 4, start_nonce=2 ** 64 - 2)
+        assert 0 <= proof.nonce < 2 ** 64
+        assert verify(b"wrap", proof.nonce, 4)
+        # The scan order is 2**64-2, 2**64-1, 0, 1, ...: the attempt
+        # count must equal the position in exactly that sequence.
+        sequence = [2 ** 64 - 2, 2 ** 64 - 1] + list(range(proof.attempts))
+        assert sequence[proof.attempts - 1] == proof.nonce
+        # The wrapped solve finds the same solution a fresh scan from 0
+        # would (unless one of the two pre-wrap nonces happened to win).
+        if proof.nonce not in (2 ** 64 - 2, 2 ** 64 - 1):
+            assert proof.nonce == solve(b"wrap", 4).nonce
+
+    def test_start_nonce_already_wrapped_equivalent(self):
+        # start_nonce == 2**64 is the same scan as start_nonce == 0.
+        a = solve(b"c", 4, start_nonce=2 ** 64)
+        b = solve(b"c", 4, start_nonce=0)
+        assert (a.nonce, a.attempts) == (b.nonce, b.attempts)
+
     def test_difficulty_bounds(self):
         with pytest.raises(ValueError):
             solve(b"c", 0)
@@ -128,6 +152,23 @@ class TestSampleAttempts:
     def test_deterministic_given_rng_state(self):
         assert ([sample_attempts(8, random.Random(3)) for _ in range(5)]
                 == [sample_attempts(8, random.Random(3)) for _ in range(5)])
+
+    @pytest.mark.parametrize("difficulty", [53, 64, MAX_DIFFICULTY])
+    def test_extreme_difficulties_do_not_divide_by_zero(self, difficulty):
+        # Regression: log(1 - 2**-D) rounds to log(1.0) == 0.0 for
+        # D >= 53 and raised ZeroDivisionError; log1p(-p) keeps the
+        # denominator finite all the way to MAX_DIFFICULTY.
+        rng = random.Random(5)
+        for _ in range(20):
+            attempts = sample_attempts(difficulty, rng)
+            assert attempts >= 1
+
+    def test_extreme_difficulty_magnitude(self):
+        # At difficulty 53 the expected attempt count is 2**53; the
+        # sampled values must live on that scale, not collapse to 1.
+        rng = random.Random(9)
+        samples = [sample_attempts(53, rng) for _ in range(200)]
+        assert statistics.mean(samples) > 2 ** 50
 
     def test_large_difficulty_scales(self):
         rng = random.Random(11)
