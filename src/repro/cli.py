@@ -12,6 +12,7 @@ Usage::
     python -m repro trace --scenario smoke --seed 7
     python -m repro chaos --scenario partition-heal --seed 7
     python -m repro storage --seed 7 --backend file
+    python -m repro fleet --scenario smoke --seed 7
 
 Each experiment subcommand prints the same series the matching
 benchmark writes to ``benchmarks/out/``; ``workflow`` runs the Fig. 6
@@ -146,6 +147,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "is a throwaway temporary directory)")
     storage.add_argument("--out", type=str, default=None,
                          help="also write the canonical JSON result here")
+
+    fleet = sub.add_parser(
+        "fleet", help="boot a localhost asyncio/TCP fleet, run the "
+                      "seeded scenario over both transports, and "
+                      "assert sim ≡ wire state hashes")
+    fleet.add_argument("--scenario", default="smoke",
+                       help="fleet scenario name (see --list)")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--nodes", type=int, default=None,
+                       help="full-node count (default: the scenario's)")
+    fleet.add_argument("--transactions", type=int, default=None,
+                       help="workload length (default: the scenario's)")
+    fleet.add_argument("--host", type=str, default="127.0.0.1",
+                       help="interface the fleet listens on")
+    fleet.add_argument("--time-scale", type=float, default=20.0,
+                       help="simulated seconds per wall second on the "
+                            "wire leg (>1 compresses protocol timers)")
+    fleet.add_argument("--out-dir", type=str, default=None,
+                       help="write fleet.json plus per-leg convergence "
+                            "reports and hashes files here")
+    fleet.add_argument("--list", action="store_true",
+                       help="list available fleet scenarios and exit")
 
     return parser
 
@@ -362,6 +385,63 @@ def _cmd_storage(args) -> int:
     return 0 if result["matched"] else 1
 
 
+def _cmd_fleet(args) -> int:
+    import json
+    import os
+
+    from .network.differential import FLEET_SCENARIOS, run_fleet_differential
+
+    if args.list:
+        for name in sorted(FLEET_SCENARIOS):
+            shape = FLEET_SCENARIOS[name]
+            print(f"{name}: {shape['node_count']} nodes, "
+                  f"{shape['transactions']} transactions")
+        return 0
+    if args.scenario not in FLEET_SCENARIOS:
+        known = ", ".join(sorted(FLEET_SCENARIOS))
+        print(f"unknown fleet scenario {args.scenario!r} "
+              f"(known: {known})", file=sys.stderr)
+        return 2
+
+    outcome = run_fleet_differential(
+        seed=args.seed, scenario=args.scenario, node_count=args.nodes,
+        transactions=args.transactions, host=args.host,
+        time_scale=args.time_scale)
+    result = outcome.result
+
+    # The wire leg's convergence report, in the exact ChaosRunner
+    # format; the sim leg's lands next to it under --out-dir.
+    print(outcome.wire_report.to_json(indent=2))
+    verdict = "MATCHED" if result["matched"] else "DIVERGED"
+    print(f"\nsim ≡ wire: {verdict}")
+    for leg in ("sim", "wire"):
+        summary = result[leg]
+        print(f"{leg}: converged={summary['converged']} "
+              f"sync_rounds={summary['sync_rounds']} "
+              f"rejected={len(summary['rejected'])}")
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+
+        def dump(name: str, payload) -> None:
+            path = os.path.join(args.out_dir, name)
+            with open(path, "w") as handle:
+                handle.write(payload + "\n")
+
+        canonical = lambda value: json.dumps(
+            value, sort_keys=True, separators=(",", ":"))
+        dump("fleet.json", canonical(result))
+        dump("report-sim.json", outcome.sim_report.to_json())
+        dump("report-wire.json", outcome.wire_report.to_json())
+        # Hashes-only files: byte-comparable between the two legs (and
+        # across repeat runs) even though the wire report's durations
+        # are wall-clock.
+        dump("hashes-sim.json", canonical(result["sim"]["hashes"]))
+        dump("hashes-wire.json", canonical(result["wire"]["hashes"]))
+        print(f"artifacts -> {args.out_dir}")
+    return 0 if result["matched"] else 1
+
+
 _COMMANDS = {
     "workflow": _cmd_workflow,
     "fig7": _cmd_fig7,
@@ -374,6 +454,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "storage": _cmd_storage,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -16,6 +16,7 @@ Typical use (see ``examples/smart_factory.py``)::
 
 from __future__ import annotations
 
+import asyncio
 import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
@@ -30,6 +31,7 @@ from ..core.credit import CreditParameters, CreditRegistry
 from ..crypto.keys import KeyPair
 from ..devices.sensors import SENSOR_TYPES, make_sensor
 from ..faults.backoff import BackoffPolicy
+from ..network.aio import AsyncioScheduler, AsyncioTransport, NodeRunner
 from ..network.network import Network
 from ..network.simulator import EventScheduler
 from ..network.transport import BACKBONE_LINK, WIRELESS_SENSOR_LINK, LatencyModel
@@ -99,6 +101,26 @@ class BIoTConfig:
             one ``gossip_batch`` message when a burst ingests together;
             1 (default) keeps the classic one-flood-per-transaction
             wire behaviour.
+        transport: ``"sim"`` (default) runs the deployment on the
+            discrete-event simulator — bit-deterministic, driven by
+            :meth:`BIoTSystem.initialize` / :meth:`BIoTSystem.run_for`.
+            ``"asyncio"`` hosts every node on its own
+            :class:`~repro.network.aio.AsyncioTransport` over real
+            localhost TCP — convergence-deterministic, driven from a
+            running event loop by :meth:`BIoTSystem.start_fleet` /
+            :meth:`BIoTSystem.initialize_async` /
+            :meth:`BIoTSystem.run_for_async`.
+        listen_host: interface full nodes bind their TCP listeners to
+            (asyncio transport only).
+        listen_base_port: first listen port; full node *i* binds
+            ``listen_base_port + i``.  0 (default) binds ephemeral
+            ports, published through the fleet's shared directory —
+            the right choice for tests running in parallel.
+        time_scale: simulated seconds per wall-clock second on the
+            asyncio transport (the :class:`~repro.network.aio.
+            AsyncClock` ratio); >1 compresses protocol timers so wire
+            tests finish quickly.  Ignored by the simulator, whose
+            virtual clock needs no scaling.
     """
 
     gateway_count: int = 2
@@ -123,6 +145,10 @@ class BIoTConfig:
     crypto_backend: str = "reference"
     pow_workers: int = 0
     gossip_batch_size: int = 1
+    transport: str = "sim"
+    listen_host: str = "127.0.0.1"
+    listen_base_port: int = 0
+    time_scale: float = 1.0
 
     def __post_init__(self):
         if self.gateway_count < 1:
@@ -147,22 +173,34 @@ class BIoTConfig:
             raise ValueError("pow_workers must be >= 0")
         if self.gossip_batch_size < 1:
             raise ValueError("gossip_batch_size must be >= 1")
+        if self.transport not in ("sim", "asyncio"):
+            raise ValueError(
+                f"unknown transport {self.transport!r} "
+                f"(known: sim, asyncio)")
+        if not (0 <= self.listen_base_port <= 65535):
+            raise ValueError("listen_base_port must be in [0, 65535]")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
 
 
 class BIoTSystem:
     """A fully wired smart-factory simulation."""
 
-    def __init__(self, *, config: BIoTConfig, scheduler: EventScheduler,
-                 network: Network, manager: ManagerNode,
+    def __init__(self, *, config: BIoTConfig, scheduler,
+                 network: Optional[Network], manager: ManagerNode,
                  gateways: List[FullNode], devices: List[LightNode],
                  device_keys: Dict[str, KeyPair],
                  gateway_keys: Dict[str, KeyPair],
                  crypto_pool=None,
+                 runners: Optional[List[NodeRunner]] = None,
+                 directory: Optional[Dict[str, Tuple[str, int]]] = None,
                  telemetry=NULL_REGISTRY, tracer=NULL_TRACER,
                  lifecycle=NULL_LIFECYCLE):
         self.config = config
         self.scheduler = scheduler
         self.network = network
+        self.runners = runners
+        self.directory = directory
         self.manager = manager
         self.gateways = gateways
         self.devices = devices
@@ -186,7 +224,9 @@ class BIoTSystem:
         from ..nodes.manager import ManagerNode
 
         master = random.Random(config.seed)
-        scheduler = EventScheduler()
+        asyncio_mode = config.transport == "asyncio"
+        scheduler = (AsyncioScheduler(time_scale=config.time_scale)
+                     if asyncio_mode else EventScheduler())
         if config.telemetry:
             telemetry = MetricsRegistry(scheduler.clock)
             tracer = Tracer(scheduler.clock)
@@ -202,12 +242,41 @@ class BIoTSystem:
             telemetry = NULL_REGISTRY
             tracer = NULL_TRACER
             lifecycle = NULL_LIFECYCLE
-        network = Network(
-            scheduler,
-            rng=random.Random(master.randrange(2 ** 63)),
-            telemetry=telemetry,
-            tracer=tracer,
-        )
+        network: Optional[Network] = None
+        directory: Optional[Dict[str, Tuple[str, int]]] = None
+        runners: Optional[List[NodeRunner]] = None
+        if asyncio_mode:
+            directory = {}
+            runners = []
+        else:
+            network = Network(
+                scheduler,
+                rng=random.Random(master.randrange(2 ** 63)),
+                telemetry=telemetry,
+                tracer=tracer,
+            )
+
+        def attach(node, *, listen_index: Optional[int] = None) -> None:
+            """Sim mode: attach to the shared Network.  Asyncio mode:
+            give the node its own TCP transport (full nodes listen,
+            devices stay connect-only) sharing one directory."""
+            if not asyncio_mode:
+                network.attach(node)
+                return
+            transport = AsyncioTransport(
+                scheduler,
+                directory=directory,
+                rng=random.Random(master.randrange(2 ** 63)),
+                reconnect_policy=config.retry_policy,
+                telemetry=telemetry,
+                tracer=tracer,
+            )
+            listen = None
+            if listen_index is not None:
+                port = (0 if config.listen_base_port == 0
+                        else config.listen_base_port + listen_index)
+                listen = (config.listen_host, port)
+            runners.append(NodeRunner(node, transport, listen=listen))
 
         # One verification cache and one decode cache for the whole
         # deployment: verification of an immutable transaction is
@@ -275,7 +344,7 @@ class BIoTSystem:
             telemetry=telemetry,
             lifecycle=lifecycle,
         )
-        network.attach(manager)
+        attach(manager, listen_index=0)
 
         gateways: List[FullNode] = []
         gateway_keys = {
@@ -300,7 +369,7 @@ class BIoTSystem:
                 telemetry=telemetry,
                 lifecycle=lifecycle,
             )
-            network.attach(gateway)
+            attach(gateway, listen_index=i + 1)
             gateways.append(gateway)
 
         # Full mesh among full nodes over the backbone.
@@ -309,7 +378,9 @@ class BIoTSystem:
             for b in full_nodes:
                 if a.address != b.address:
                     a.add_peer(b.address)
-                    network.set_link(a.address, b.address, config.backbone_link)
+                    if network is not None:
+                        network.set_link(a.address, b.address,
+                                         config.backbone_link)
 
         if config.storage_backend != "memory":
             # Imported lazily: repro.storage is optional plumbing the
@@ -350,9 +421,15 @@ class BIoTSystem:
                 telemetry=telemetry,
                 lifecycle=lifecycle,
             )
-            network.attach(device)
-            network.set_link(address, gateway.address, config.wireless_link)
-            network.set_link(address, manager.address, config.wireless_link)
+            # Devices listen as well: the manager pushes key
+            # distributions to them, so on TCP they must be dialable
+            # before they ever speak.
+            attach(device, listen_index=1 + config.gateway_count + i)
+            if network is not None:
+                network.set_link(address, gateway.address,
+                                 config.wireless_link)
+                network.set_link(address, manager.address,
+                                 config.wireless_link)
             devices.append(device)
 
         return cls(
@@ -365,6 +442,8 @@ class BIoTSystem:
             device_keys=device_keys,
             gateway_keys=gateway_keys,
             crypto_pool=crypto_pool,
+            runners=runners,
+            directory=directory,
             telemetry=telemetry,
             tracer=tracer,
             lifecycle=lifecycle,
@@ -375,11 +454,31 @@ class BIoTSystem:
         """Every full node: the manager first, then the gateways."""
         return [self.manager] + self.gateways
 
+    @property
+    def asyncio_mode(self) -> bool:
+        """True when the deployment runs on real TCP transports."""
+        return self.runners is not None
+
+    def _require_sim(self, what: str) -> None:
+        if self.runners is not None:
+            raise RuntimeError(
+                f"{what} drives the discrete-event scheduler and is "
+                f"unavailable with transport='asyncio'; use start_fleet"
+                f"/initialize_async/run_for_async from a running event "
+                f"loop instead")
+
+    def _require_asyncio(self, what: str) -> None:
+        if self.runners is None:
+            raise RuntimeError(
+                f"{what} requires transport='asyncio' (this deployment "
+                f"runs on the discrete-event simulator)")
+
     # -- workflow steps 1-3 --------------------------------------------------
 
     def initialize(self, *, settle_seconds: float = 2.0) -> None:
         """Run workflow steps 1–3: register gateways, authorise devices,
         distribute keys to sensitive-data devices."""
+        self._require_sim("initialize")
         with self.tracer.span("biot.initialize",
                               gateways=len(self.gateways),
                               devices=len(self.devices)):
@@ -413,8 +512,66 @@ class BIoTSystem:
 
     def run_for(self, seconds: float) -> None:
         """Advance the simulation by *seconds*."""
+        self._require_sim("run_for")
         with self.tracer.span("biot.run", seconds=seconds):
             self.scheduler.run_until(self.scheduler.clock.now() + seconds)
+
+    # -- asyncio-transport lifecycle -----------------------------------------
+
+    async def start_fleet(self) -> None:
+        """Boot every :class:`~repro.network.aio.NodeRunner`: full
+        nodes bind their TCP listeners (publishing bound addresses into
+        the shared directory), devices come up connect-only.  Must run
+        inside the event loop that will host the fleet."""
+        self._require_asyncio("start_fleet")
+        for runner in self.runners:
+            await runner.start()
+
+    async def stop_fleet(self) -> None:
+        """Gracefully shut the fleet down (reverse boot order):
+        outboxes flush briefly, then listeners, connections and tasks
+        are torn down.  Idempotent."""
+        self._require_asyncio("stop_fleet")
+        for runner in reversed(self.runners):
+            await runner.stop()
+        if isinstance(self.scheduler, AsyncioScheduler):
+            self.scheduler.cancel_all()
+
+    async def initialize_async(self, *, settle_seconds: float = 2.0) -> None:
+        """Workflow steps 1–3 over the wire.
+
+        Same protocol steps as :meth:`initialize`; settling means
+        *waiting* (``settle_seconds`` of simulated time, wall-scaled by
+        ``time_scale``) while gossip propagates, instead of draining a
+        virtual event queue."""
+        self._require_asyncio("initialize_async")
+        settle_wall = self.scheduler.clock.to_wall(settle_seconds)
+        with self.tracer.span("biot.initialize",
+                              gateways=len(self.gateways),
+                              devices=len(self.devices)):
+            with self.tracer.span("biot.register_and_authorize"):
+                self.manager.register_gateways(
+                    [keys.public for keys in self.gateway_keys.values()]
+                )
+                self.manager.authorize_devices(
+                    [keys.public for keys in self.device_keys.values()]
+                )
+                await asyncio.sleep(settle_wall)
+            with self.tracer.span("biot.key_distribution"):
+                for device in self.devices:
+                    if device.sensor.sensitive:
+                        self.manager.distribute_key(device.address,
+                                                    device.keypair.public)
+                await asyncio.sleep(settle_wall)
+        self.initialized = True
+
+    async def run_for_async(self, seconds: float) -> None:
+        """Let the fleet run for *seconds* of simulated time (wall
+        time scaled by ``time_scale``); devices report and gossip flows
+        on real sockets meanwhile."""
+        self._require_asyncio("run_for_async")
+        with self.tracer.span("biot.run", seconds=seconds):
+            await asyncio.sleep(self.scheduler.clock.to_wall(seconds))
 
     def close(self) -> None:
         """Release deployment-level resources (the crypto worker pool).
@@ -439,8 +596,14 @@ class BIoTSystem:
             "submissions_sent": sent,
             "submissions_accepted": accepted,
             "tangle_sizes": {n.address: n.tangle_size for n in full_nodes},
-            "messages_delivered": self.network.messages_delivered,
-            "messages_dropped": self.network.messages_dropped,
+            "messages_delivered": (
+                self.network.messages_delivered
+                if self.network is not None else
+                sum(r.transport.messages_delivered for r in self.runners)),
+            "messages_dropped": (
+                self.network.messages_dropped
+                if self.network is not None else
+                sum(r.transport.messages_dropped for r in self.runners)),
             "mean_pow_seconds": (
                 sum(d.stats.mean_pow_seconds for d in self.devices)
                 / len(self.devices)

@@ -1,8 +1,20 @@
-"""Simulated network substrate: discrete-event scheduling, lossy links,
-message routing, gossip and solidification."""
+"""Network substrate behind the :class:`~repro.network.base.Transport`
+contract: a discrete-event simulator (:class:`SimTransport`, the
+bit-deterministic reference) and a real asyncio/TCP transport
+(:class:`AsyncioTransport`, convergence-deterministic), plus the
+length-prefixed frame codec, gossip and solidification."""
 
+from .aio import AsyncClock, AsyncioScheduler, AsyncioTransport, NodeRunner
+from .base import SchedulerLike, Transport, is_transport
+from .frame import (
+    FrameDecoder,
+    FrameError,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+)
 from .gossip import GossipRelay, SolidificationBuffer
-from .network import Network, NetworkNode
+from .network import Network, NetworkNode, SimTransport
 from .simulator import EventScheduler
 from .transport import (
     BACKBONE_LINK,
@@ -16,6 +28,19 @@ __all__ = [
     "EventScheduler",
     "Network",
     "NetworkNode",
+    "SimTransport",
+    "Transport",
+    "SchedulerLike",
+    "is_transport",
+    "AsyncClock",
+    "AsyncioScheduler",
+    "AsyncioTransport",
+    "NodeRunner",
+    "FrameDecoder",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frame",
     "Message",
     "LatencyModel",
     "WIRELESS_SENSOR_LINK",

@@ -1,0 +1,73 @@
+"""The transport contract every network backend satisfies.
+
+Nodes are written against a deliberately small surface: they are
+attached to a transport, reply through :meth:`Transport.send`, and read
+time / defer work through ``transport.scheduler`` (an object exposing
+``clock.now()``, ``schedule(delay, callback) -> event_id`` and
+``cancel(event_id)``).  Everything else on
+:class:`~repro.network.network.Network` — link models, fault switches,
+overlays — is simulator-specific and not part of the contract.
+
+Two backends implement it:
+
+* :class:`~repro.network.network.SimTransport` (the discrete-event
+  simulator, historically named ``Network``) — bit-deterministic:
+  the same seed yields the same event schedule, byte for byte.
+* :class:`~repro.network.aio.AsyncioTransport` — real length-prefixed
+  frames over localhost/LAN TCP, driven by the asyncio event loop —
+  convergence-deterministic: scheduling varies run to run, but the
+  replicated state (tangle/ledger/ACL/credit hashes) must not (the
+  property the fleet differential harness in
+  :mod:`repro.network.differential` asserts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from .transport import Message
+
+__all__ = ["Transport", "SchedulerLike"]
+
+
+class SchedulerLike(Protocol):
+    """What nodes require of ``transport.scheduler``."""
+
+    clock: object  # exposes now() -> float
+
+    def schedule(self, delay: float, callback) -> int: ...
+
+    def cancel(self, event_id: int) -> None: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Minimal routing surface nodes program against.
+
+    ``attach`` binds a node (the transport injects itself so the node
+    can reply); ``send`` routes one message and returns False when the
+    transport already knows it cannot be delivered; ``broadcast`` fans
+    out to every other known address.  ``addresses`` lists the
+    addresses this transport can currently route to, local node
+    included.
+    """
+
+    scheduler: SchedulerLike
+
+    def attach(self, node) -> None: ...
+
+    @property
+    def addresses(self) -> List[str]: ...
+
+    def send(self, sender: str, recipient: str, kind: str, body, *,
+             size_bytes: int = 0) -> bool: ...
+
+    def broadcast(self, sender: str, kind: str, body, *,
+                  recipients=None, size_bytes: int = 0) -> int: ...
+
+    def add_tap(self, tap) -> None: ...
+
+
+def is_transport(obj) -> bool:
+    """Structural check used by tests and assembly code."""
+    return isinstance(obj, Transport) and callable(getattr(obj, "send", None))

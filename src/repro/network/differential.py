@@ -1,0 +1,476 @@
+"""Sim-vs-wire differential: the proof the TCP transport is honest.
+
+The keystone obligation of the transport extraction: driving the *same*
+seeded scenario through :class:`~repro.network.network.SimTransport`
+and :class:`~repro.network.aio.AsyncioTransport` must converge every
+replica to byte-identical tangle/ledger/ACL/credit hashes.  The real
+transport is allowed to change *scheduling* (kernel timing reorders
+gossip run to run) but never *state*.
+
+Making that a meaningful equality needs a workload whose final state is
+a pure function of the transaction **set**, independent of arrival
+order — the properties the state machine already guarantees:
+
+* credit records key on ``tx.timestamp`` (ledger time), never local
+  arrival time, and lazy detection uses parent *timestamp* ages;
+* ledger conflict arbitration is deterministic (lowest hash wins), and
+  this workload contains no double-spends, whose *penalties* are the
+  one arrival-order-dependent effect;
+* with ``InverseDifficultyPolicy(initial_difficulty=1)`` and no
+  penalties the credit-required difficulty is always exactly 1, so
+  admission cannot depend on which subset of history a node has seen.
+
+So the workload is **pre-generated** against a reference node with a
+virtual clock — fixed timestamps, parents picked from the reference's
+tips, real PoW at difficulty 1 — and each leg only *delivers* those
+bytes: a driver submits them serially to one admitting node (waiting
+for every ``submit_response``), gossip floods them to the rest, and
+anti-entropy sync rounds close any tail.  The report follows the
+``repro.storage.differential`` format (reference / per-leg hashes /
+``matched``), and each leg also yields a ChaosRunner-style
+:class:`~repro.faults.report.ConvergenceReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.acl import AclAction, AuthorizationList
+from ..core.consensus import CreditBasedConsensus, InverseDifficultyPolicy
+from ..core.credit import CreditParameters
+from ..core.credit import CreditRegistry
+from ..crypto.keys import KeyPair
+from ..faults.report import ConvergenceReport, credit_hash, node_state_hashes
+from ..network.network import Network, NetworkNode
+from ..network.simulator import EventScheduler
+from ..storage.differential import node_hashes
+from ..tangle.ledger import TransferPayload
+from ..tangle.transaction import Transaction, TransactionKind
+from .aio import AsyncioScheduler, AsyncioTransport, NodeRunner
+from .transport import BACKBONE_LINK, Message
+
+__all__ = [
+    "FLEET_SCENARIOS",
+    "FleetWorkload",
+    "build_workload",
+    "run_sim_leg",
+    "run_wire_leg",
+    "run_fleet_differential",
+    "FleetDifferentialResult",
+]
+
+TOKEN_GRANT = 500
+"""Initial balance of every transacting identity in the workload."""
+
+FLEET_SCENARIOS: Dict[str, Dict[str, int]] = {
+    "smoke": {"node_count": 5, "transactions": 40},
+    "mini": {"node_count": 3, "transactions": 12},
+}
+"""Named fleet scenarios: ``smoke`` is the CI shape (5-node localhost
+fleet); ``mini`` keeps unit tests fast."""
+
+_MAX_SYNC_ROUNDS = 10
+_SUBMIT_ATTEMPTS = 3
+
+
+@dataclass
+class FleetWorkload:
+    """A fully pre-generated, transport-independent scenario."""
+
+    seed: int
+    genesis: Transaction
+    transactions: List[bytes]
+    credit_now: float
+    reference_hashes: Dict[str, str]
+    params: CreditParameters = field(default_factory=CreditParameters)
+
+
+def _new_consensus(params: CreditParameters) -> CreditBasedConsensus:
+    return CreditBasedConsensus(
+        CreditRegistry(params),
+        policy=InverseDifficultyPolicy(initial_difficulty=1),
+        max_parent_age=params.delta_t,
+    )
+
+
+def build_workload(seed: int, *, transactions: int = 40,
+                   devices: int = 3) -> FleetWorkload:
+    """Pre-generate the scenario against a reference node.
+
+    Timestamps come from a virtual clock (0.5 s per transaction),
+    parents from the reference's live tip set, and every transaction
+    carries real PoW at difficulty 1 — nothing in the bytes depends on
+    wall time or transport scheduling.
+    """
+    if transactions < 4:
+        raise ValueError("fleet workload needs at least 4 transactions")
+    from ..nodes.full_node import FullNode
+    from ..nodes.manager import ManagerNode
+
+    rng = random.Random(f"fleet:{seed}")
+    params = CreditParameters()
+    manager_keys = KeyPair.generate(seed=f"fleet:{seed}:manager".encode())
+    device_keys = [
+        KeyPair.generate(seed=f"fleet:{seed}:device:{i}".encode())
+        for i in range(devices)
+    ]
+    genesis = ManagerNode.create_genesis(
+        manager_keys,
+        network_name=f"fleet-{seed}",
+        token_allocations=[(manager_keys.node_id, TOKEN_GRANT)]
+        + [(keys.node_id, TOKEN_GRANT) for keys in device_keys],
+    )
+    reference = FullNode("wl-reference", genesis,
+                         consensus=_new_consensus(params),
+                         rng=random.Random(0), enforce_pow=True)
+
+    encoded: List[bytes] = []
+    virtual_time = 1.0
+
+    def issue(keys: KeyPair, *, kind: str, payload: bytes) -> Transaction:
+        nonlocal virtual_time
+        tips = reference.tangle.tips()
+        tx = Transaction.create(
+            keys, kind=kind, payload=payload, timestamp=virtual_time,
+            branch=rng.choice(tips), trunk=rng.choice(tips), difficulty=1)
+        if not reference.ingest_local(tx):
+            raise RuntimeError(
+                f"workload reference rejected its own {kind} transaction")
+        encoded.append(tx.to_bytes())
+        virtual_time += 0.5
+        return tx
+
+    # First transaction: authorize the device population, so the legs'
+    # admission checks (ACL + credit difficulty) pass for everything
+    # that follows and the acl hash is non-trivial.
+    issue(manager_keys, kind=TransactionKind.ACL,
+          payload=AuthorizationList.make_update(
+              [keys.public for keys in device_keys],
+              action=AclAction.AUTHORIZE).to_bytes())
+
+    accounts = [manager_keys] + device_keys
+    for _ in range(transactions - 1):
+        if rng.random() < 0.4:
+            sender = rng.choice(device_keys)
+            recipient = rng.choice(
+                [keys for keys in accounts
+                 if keys.node_id != sender.node_id])
+            payload = TransferPayload(
+                sender=sender.node_id, recipient=recipient.node_id,
+                amount=rng.randint(1, 5),
+                sequence=reference.ledger.next_sequence(sender.node_id))
+            issue(sender, kind=TransactionKind.TRANSFER,
+                  payload=payload.to_bytes())
+        else:
+            issue(rng.choice(device_keys), kind=TransactionKind.DATA,
+                  payload=rng.randbytes(16))
+
+    credit_now = virtual_time + 1.0
+    return FleetWorkload(
+        seed=seed,
+        genesis=genesis,
+        transactions=encoded,
+        credit_now=credit_now,
+        reference_hashes=node_hashes(reference, now=credit_now),
+        params=params,
+    )
+
+
+def _build_fleet_nodes(workload: FleetWorkload, node_count: int):
+    from ..nodes.full_node import FullNode
+
+    nodes = [
+        FullNode(f"n{i}", workload.genesis,
+                 consensus=_new_consensus(workload.params),
+                 rng=random.Random(i), enforce_pow=True)
+        for i in range(node_count)
+    ]
+    for a in nodes:
+        for b in nodes:
+            if a.address != b.address:
+                a.add_peer(b.address)
+    return nodes
+
+
+def _fleet_hashes(nodes, *, now: float) -> Dict[str, Dict[str, str]]:
+    return {node.address: node_hashes(node, now=now) for node in nodes}
+
+
+def _hashes_agree(per_node: Dict[str, Dict[str, str]]) -> bool:
+    distinct = {tuple(sorted(h.items())) for h in per_node.values()}
+    return len(distinct) == 1
+
+
+def _leg_report(*, scenario: str, seed: int, nodes, rounds: int,
+                duration: float, counters: Dict[str, int],
+                notes) -> ConvergenceReport:
+    return ConvergenceReport.from_nodes(
+        scenario=scenario, seed=seed, nodes=nodes,
+        sync_rounds_used=rounds, duration=duration,
+        counters=counters, notes=notes)
+
+
+class _SubmitDriver(NetworkNode):
+    """Serial submitter shared by both legs: one transaction in flight
+    at a time, so the admitting node attaches parents before children
+    and admission state never races the workload."""
+
+    def __init__(self, transactions: List[bytes], target: str):
+        super().__init__("driver")
+        self.transactions = transactions
+        self.target = target
+        self.results: List[Tuple[bool, Optional[str]]] = []
+        self.response_futures: Dict[int, "asyncio.Future"] = {}
+
+    @property
+    def rejected(self) -> List[Dict[str, object]]:
+        return [
+            {"index": index, "error": error}
+            for index, (ok, error) in enumerate(self.results)
+            if not ok and error != "duplicate"
+        ]
+
+    def submit(self, index: int) -> bool:
+        encoded = self.transactions[index]
+        return self.send(self.target, "submit_transaction",
+                         {"transaction": encoded, "request_id": index},
+                         size_bytes=len(encoded))
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind != "submit_response":
+            return
+        body = message.body
+        index = body.get("request_id")
+        outcome = (bool(body.get("ok")), body.get("error"))
+        if isinstance(index, int):
+            if index == len(self.results):
+                self.results.append(outcome)
+            future = self.response_futures.pop(index, None)
+            if future is not None and not future.done():
+                future.set_result(outcome)
+        self.on_response(index)
+
+    def on_response(self, index) -> None:
+        """Hook for the sim leg's send-next chaining; wire leg awaits
+        futures instead."""
+
+
+# -- simulated leg ---------------------------------------------------------
+
+def run_sim_leg(workload: FleetWorkload, *, node_count: int, seed: int,
+                scenario: str = "smoke"):
+    """Deliver the workload over the discrete-event simulator.
+
+    Returns ``(report, per_node_hashes, rounds)``; bit-deterministic
+    for a given ``(workload, node_count, seed)``.
+    """
+    scheduler = EventScheduler()
+    network = Network(scheduler, default_link=BACKBONE_LINK,
+                      rng=random.Random(f"fleet-sim:{seed}"))
+    nodes = _build_fleet_nodes(workload, node_count)
+    for node in nodes:
+        network.attach(node)
+
+    driver = _SubmitDriver(workload.transactions, target=nodes[0].address)
+    network.attach(driver)
+
+    def submit_next(_index=None) -> None:
+        pending = len(driver.results)
+        if pending < len(driver.transactions):
+            driver.submit(pending)
+
+    driver.on_response = submit_next
+    scheduler.schedule(0.0, submit_next)
+    scheduler.run()
+
+    rounds = 0
+    per_node = _fleet_hashes(nodes, now=workload.credit_now)
+    while not _hashes_agree(per_node) and rounds < _MAX_SYNC_ROUNDS:
+        rounds += 1
+        for node in nodes:
+            node.resync_with_peers()
+        scheduler.run()
+        per_node = _fleet_hashes(nodes, now=workload.credit_now)
+
+    report = _leg_report(
+        scenario=f"fleet-{scenario}-sim", seed=seed, nodes=nodes,
+        rounds=rounds, duration=scheduler.clock.now(),
+        counters={
+            "messages_sent": network.messages_sent,
+            "messages_delivered": network.messages_delivered,
+            "messages_dropped": network.messages_dropped,
+            "submissions": len(driver.results),
+        },
+        notes=[f"rejected:{len(driver.rejected)}"])
+    return report, per_node, rounds, driver.rejected
+
+
+# -- wire leg --------------------------------------------------------------
+
+async def run_wire_leg(workload: FleetWorkload, *, node_count: int,
+                       seed: int, scenario: str = "smoke",
+                       host: str = "127.0.0.1", time_scale: float = 20.0,
+                       drain_timeout: float = 20.0):
+    """Deliver the same workload over a localhost TCP fleet.
+
+    Boots one :class:`NodeRunner` per full node (ephemeral ports), a
+    connect-only driver, submits serially awaiting every response, then
+    drains gossip and runs anti-entropy rounds until the hashes agree.
+    """
+    scheduler = AsyncioScheduler(time_scale=time_scale)
+    directory: Dict[str, Tuple[str, int]] = {}
+    nodes = _build_fleet_nodes(workload, node_count)
+    runners = [
+        NodeRunner(node,
+                   AsyncioTransport(scheduler, directory=directory,
+                                    rng=random.Random(f"wire:{seed}:{i}")),
+                   listen=(host, 0))
+        for i, node in enumerate(nodes)
+    ]
+    driver = _SubmitDriver(workload.transactions, target=nodes[0].address)
+    driver_transport = AsyncioTransport(
+        scheduler, directory=directory,
+        rng=random.Random(f"wire:{seed}:driver"))
+    driver_runner = NodeRunner(driver, driver_transport, listen=None)
+
+    loop = asyncio.get_running_loop()
+    try:
+        for runner in runners:
+            await runner.start()
+        await driver_runner.start()
+
+        for index in range(len(workload.transactions)):
+            outcome = None
+            for _ in range(_SUBMIT_ATTEMPTS):
+                future = loop.create_future()
+                driver.response_futures[index] = future
+                driver.submit(index)
+                try:
+                    outcome = await asyncio.wait_for(future, timeout=10.0)
+                    break
+                except asyncio.TimeoutError:
+                    driver.response_futures.pop(index, None)
+            if outcome is None:
+                raise RuntimeError(
+                    f"no submit_response for workload transaction "
+                    f"{index} after {_SUBMIT_ATTEMPTS} attempts")
+
+        # Gossip drain: every replica should reach the full DAG without
+        # any explicit sync; anti-entropy below is the backstop.
+        expected = len(workload.transactions) + 1  # + genesis
+        deadline = loop.time() + drain_timeout
+        while (loop.time() < deadline
+               and any(len(node.tangle) < expected for node in nodes)):
+            await asyncio.sleep(0.05)
+
+        rounds = 0
+        per_node = _fleet_hashes(nodes, now=workload.credit_now)
+        while not _hashes_agree(per_node) and rounds < _MAX_SYNC_ROUNDS:
+            rounds += 1
+            for node in nodes:
+                node.resync_with_peers()
+            await asyncio.sleep(0.3)
+            per_node = _fleet_hashes(nodes, now=workload.credit_now)
+
+        report = _leg_report(
+            scenario=f"fleet-{scenario}-wire", seed=seed, nodes=nodes,
+            rounds=rounds, duration=scheduler.clock.now(),
+            counters={
+                "messages_sent": sum(
+                    r.transport.messages_sent for r in runners),
+                "messages_delivered": sum(
+                    r.transport.messages_delivered for r in runners),
+                "messages_dropped": sum(
+                    r.transport.messages_dropped for r in runners),
+                "submissions": len(driver.results),
+            },
+            notes=[f"rejected:{len(driver.rejected)}"])
+        return report, per_node, rounds, driver.rejected
+    finally:
+        await driver_runner.stop()
+        for runner in runners:
+            await runner.stop()
+        scheduler.cancel_all()
+
+
+# -- the differential ------------------------------------------------------
+
+@dataclass
+class FleetDifferentialResult:
+    """Everything one differential run produced."""
+
+    result: Dict[str, object]
+    sim_report: ConvergenceReport
+    wire_report: ConvergenceReport
+
+    @property
+    def matched(self) -> bool:
+        return bool(self.result["matched"])
+
+
+def _leg_summary(per_node: Dict[str, Dict[str, str]], rounds: int,
+                 rejected) -> Dict[str, object]:
+    agreed = _hashes_agree(per_node)
+    hashes = next(iter(sorted(per_node.items())))[1] if per_node else {}
+    return {
+        "converged": agreed,
+        "sync_rounds": rounds,
+        "hashes": hashes if agreed else {},
+        "per_node": per_node,
+        "rejected": list(rejected),
+    }
+
+
+def run_fleet_differential(*, seed: int, scenario: str = "smoke",
+                           node_count: Optional[int] = None,
+                           transactions: Optional[int] = None,
+                           host: str = "127.0.0.1",
+                           time_scale: float = 20.0
+                           ) -> FleetDifferentialResult:
+    """Run both legs and compare; ``matched`` is the sim≡wire verdict.
+
+    ``matched`` is True iff both legs converged internally AND both
+    agree with the reference node's four hashes — the acceptance
+    criterion of the transport extraction.
+    """
+    if scenario not in FLEET_SCENARIOS:
+        known = ", ".join(sorted(FLEET_SCENARIOS))
+        raise ValueError(f"unknown fleet scenario {scenario!r} "
+                         f"(known: {known})")
+    shape = FLEET_SCENARIOS[scenario]
+    node_count = node_count if node_count is not None \
+        else shape["node_count"]
+    transactions = transactions if transactions is not None \
+        else shape["transactions"]
+    if node_count < 2:
+        raise ValueError("fleet differential needs at least 2 nodes")
+
+    workload = build_workload(seed, transactions=transactions)
+    sim_report, sim_nodes, sim_rounds, sim_rejected = run_sim_leg(
+        workload, node_count=node_count, seed=seed, scenario=scenario)
+    wire_report, wire_nodes, wire_rounds, wire_rejected = asyncio.run(
+        run_wire_leg(workload, node_count=node_count, seed=seed,
+                     scenario=scenario, host=host, time_scale=time_scale))
+
+    sim_summary = _leg_summary(sim_nodes, sim_rounds, sim_rejected)
+    wire_summary = _leg_summary(wire_nodes, wire_rounds, wire_rejected)
+    matched = (
+        sim_summary["converged"] and wire_summary["converged"]
+        and sim_summary["hashes"] == workload.reference_hashes
+        and wire_summary["hashes"] == workload.reference_hashes
+    )
+    result = {
+        "seed": seed,
+        "scenario": scenario,
+        "node_count": node_count,
+        "transactions": transactions,
+        "reference": workload.reference_hashes,
+        "sim": sim_summary,
+        "wire": wire_summary,
+        "matched": matched,
+    }
+    return FleetDifferentialResult(result=result, sim_report=sim_report,
+                                   wire_report=wire_report)

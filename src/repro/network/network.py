@@ -20,7 +20,7 @@ from .transport import LOCAL_LINK, LatencyModel, LinkOverlay, Message
 DUPLICATE_SPREAD_SECONDS = 0.05
 """Extra uniform delay a duplicated copy picks up over the original."""
 
-__all__ = ["NetworkNode", "Network"]
+__all__ = ["NetworkNode", "Network", "SimTransport"]
 
 
 class NetworkNode:
@@ -132,6 +132,10 @@ class Network:
         # Scheduled-but-undelivered messages, by scheduler event id, so
         # partitions and crashes can purge what is already in flight.
         self._in_flight: Dict[int, Message] = {}
+        # Per-transport message-id allocator: ids are deterministic
+        # (1, 2, 3, …) within one Network, and independent across
+        # Networks sharing a process.
+        self._message_sequence = 0
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -317,6 +321,7 @@ class Network:
             if (overlay.duplicate_probability > 0.0
                     and self._rng.random() < overlay.duplicate_probability):
                 duplicate = True
+        self._message_sequence += 1
         message = Message(
             sender=sender,
             recipient=recipient,
@@ -324,6 +329,7 @@ class Network:
             body=body,
             sent_at=self.scheduler.clock.now(),
             size_bytes=size_bytes,
+            message_id=self._message_sequence,
             trace=self.tracer.current,
         )
         self._schedule_delivery(message, delay)
@@ -398,3 +404,14 @@ class Network:
         for tap in self._taps:
             tap(message)
         node._deliver(message)
+
+
+SimTransport = Network
+"""The discrete-event simulator viewed through the
+:class:`~repro.network.base.Transport` contract.
+
+``Network`` predates the transport extraction and keeps its name (and
+exact behaviour) for the simulation stack; ``SimTransport`` is the same
+class under the role it plays next to
+:class:`~repro.network.aio.AsyncioTransport`.
+"""

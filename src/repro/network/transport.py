@@ -21,8 +21,6 @@ __all__ = [
     "LOCAL_LINK",
 ]
 
-_message_counter = [0]
-
 
 @dataclass(frozen=True)
 class Message:
@@ -31,11 +29,20 @@ class Message:
     ``body`` is any Python object (transactions, protocol records);
     ``size_bytes`` drives transmission-delay accounting where relevant.
 
+    ``message_id`` is allocated by the *transport* that routes the
+    message (each :class:`~repro.network.network.Network` or
+    :class:`~repro.network.aio.AsyncioTransport` keeps its own
+    monotonically increasing counter), so two deployments in one
+    process each see the deterministic sequence 1, 2, 3, …  A bare
+    ``Message(...)`` constructed outside a transport carries id 0.
+
     ``trace`` is *out-of-band envelope metadata*: the sender's ambient
     :class:`~repro.telemetry.tracer.TraceContext`, stamped by
     :meth:`Network.send` and restored around delivery.  It never enters
-    a wire encoding (``body`` and the codecs are untouched), so golden
-    wire-format pins are unaffected; it is excluded from equality.
+    a transaction wire encoding (``body`` and the codecs are
+    untouched), so golden wire-format pins are unaffected; it is
+    excluded from equality.  The TCP frame codec carries it as a header
+    extension (see :mod:`repro.network.frame`).
     """
 
     sender: str
@@ -44,7 +51,7 @@ class Message:
     body: Any
     sent_at: float
     size_bytes: int = 0
-    message_id: int = field(default_factory=lambda: _next_message_id())
+    message_id: int = 0
     trace: Any = field(default=None, compare=False)
 
     def __repr__(self) -> str:
@@ -52,11 +59,6 @@ class Message:
             f"Message({self.kind!r}, {self.sender} -> {self.recipient}, "
             f"t={self.sent_at:.3f})"
         )
-
-
-def _next_message_id() -> int:
-    _message_counter[0] += 1
-    return _message_counter[0]
 
 
 @dataclass(frozen=True)

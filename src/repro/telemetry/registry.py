@@ -35,6 +35,7 @@ __all__ = [
     "NULL_REGISTRY",
     "SECONDS_BUCKETS",
     "COUNT_BUCKETS",
+    "BYTES_BUCKETS",
     "DIFFICULTY_BUCKETS",
     "QUANTILES",
     "bucket_quantile",
@@ -51,6 +52,11 @@ COUNT_BUCKETS: Tuple[float, ...] = (
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
 )
 """Default edges for size/length histograms (batches, walk lengths)."""
+
+BYTES_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+)
+"""Edges for on-the-wire sizes (``repro_transport_frame_bytes``)."""
 
 DIFFICULTY_BUCKETS: Tuple[float, ...] = (2, 4, 6, 8, 10, 12, 16, 20, 24)
 """Edges matching the PoW difficulty range [1, 24]."""

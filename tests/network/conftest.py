@@ -1,0 +1,3 @@
+"""Network test fixtures: the sandboxed fleet harness."""
+
+from .fleet import fleet_sandbox  # noqa: F401

@@ -1,0 +1,99 @@
+"""Sandboxed fleet fixture for asyncio/TCP transport tests.
+
+Every test gets a :class:`FleetSandbox`: ephemeral localhost ports,
+per-test tempdir storage, and a **hard teardown** — each ``run()``
+drives its coroutine on a dedicated event loop and, no matter how the
+test exits, cancels every task still alive on that loop and closes it.
+A test that leaks a reader/writer/server task cannot poison the next
+test or leave the pytest process hanging.
+
+No pytest-asyncio in the environment: tests stay synchronous and hand
+coroutines to ``fleet_sandbox.run(...)``.
+"""
+
+import asyncio
+import shutil
+import socket
+import tempfile
+
+import pytest
+
+__all__ = ["FleetSandbox", "fleet_sandbox"]
+
+
+class FleetSandbox:
+    """Scoped resources for one fleet test."""
+
+    def __init__(self):
+        self._tempdirs = []
+        self._sockets = []
+
+    # -- resources ---------------------------------------------------------
+
+    def ephemeral_port(self, host: str = "127.0.0.1") -> int:
+        """Reserve a free localhost port.
+
+        The reserving socket is kept open (unbound listeners cannot
+        steal the port meanwhile) until teardown; tests that need the
+        port bound by a transport should prefer ``listen=(host, 0)``
+        and read the bound address back — this helper exists for the
+        cases that must know a port *before* anything listens on it,
+        e.g. reconnect tests that dial a not-yet-started peer.
+        """
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def storage_dir(self) -> str:
+        """A fresh tempdir, removed at teardown."""
+        path = tempfile.mkdtemp(prefix="repro-fleet-")
+        self._tempdirs.append(path)
+        return path
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, coro, *, timeout: float = 60.0):
+        """Run *coro* to completion on a dedicated loop.
+
+        Wraps the coroutine in ``wait_for(timeout)`` so a wedged fleet
+        fails the test instead of hanging CI, then hard-kills whatever
+        tasks are still pending before closing the loop.
+        """
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(
+                asyncio.wait_for(coro, timeout=timeout))
+        finally:
+            lingering = asyncio.all_tasks(loop)
+            for task in lingering:
+                task.cancel()
+            if lingering:
+                loop.run_until_complete(
+                    asyncio.gather(*lingering, return_exceptions=True))
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        for sock in self._sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._sockets.clear()
+        for path in self._tempdirs:
+            shutil.rmtree(path, ignore_errors=True)
+        self._tempdirs.clear()
+
+
+@pytest.fixture
+def fleet_sandbox():
+    sandbox = FleetSandbox()
+    try:
+        yield sandbox
+    finally:
+        sandbox.close()

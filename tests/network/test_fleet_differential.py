@@ -1,0 +1,92 @@
+"""The sim≡wire keystone: the same seeded workload through the
+discrete-event SimTransport and the asyncio/TCP AsyncioTransport must
+converge every replica to byte-identical tangle/ledger/ACL/credit
+hashes (the ``repro.storage.differential`` report format)."""
+
+import asyncio
+
+import pytest
+
+from repro.faults.report import canonical_json
+from repro.network.differential import (
+    FLEET_SCENARIOS,
+    build_workload,
+    run_fleet_differential,
+    run_sim_leg,
+    run_wire_leg,
+)
+
+
+class TestWorkload:
+    def test_generation_is_deterministic(self):
+        a = build_workload(5, transactions=8)
+        b = build_workload(5, transactions=8)
+        assert a.transactions == b.transactions
+        assert a.genesis.to_bytes() == b.genesis.to_bytes()
+        assert a.reference_hashes == b.reference_hashes
+        assert a.credit_now == b.credit_now
+
+    def test_different_seeds_differ(self):
+        assert (build_workload(5, transactions=8).transactions
+                != build_workload(6, transactions=8).transactions)
+
+    def test_rejects_tiny_workloads(self):
+        with pytest.raises(ValueError):
+            build_workload(5, transactions=2)
+
+
+class TestSimLeg:
+    def test_converges_and_is_byte_deterministic(self):
+        workload = build_workload(9, transactions=10)
+        report1, nodes1, _, rejected1 = run_sim_leg(
+            workload, node_count=3, seed=9, scenario="mini")
+        report2, nodes2, _, rejected2 = run_sim_leg(
+            workload, node_count=3, seed=9, scenario="mini")
+        assert rejected1 == [] and rejected2 == []
+        assert nodes1 == nodes2
+        # The sim leg is *bit*-deterministic: the full convergence
+        # report (durations, counters, everything) replays identically.
+        assert canonical_json(report1.to_dict()) \
+            == canonical_json(report2.to_dict())
+        hashes = set(canonical_json(h) for h in nodes1.values())
+        assert len(hashes) == 1
+        assert next(iter(nodes1.values())) == workload.reference_hashes
+
+
+class TestWireLeg:
+    def test_converges_to_the_reference(self, fleet_sandbox):
+        workload = build_workload(9, transactions=10)
+        report, per_node, _, rejected = fleet_sandbox.run(
+            run_wire_leg(workload, node_count=3, seed=9,
+                         scenario="mini", time_scale=50.0),
+            timeout=120.0)
+        assert rejected == []
+        assert report.converged
+        for hashes in per_node.values():
+            assert hashes == workload.reference_hashes
+
+
+class TestDifferential:
+    def test_mini_scenario_matches(self):
+        outcome = run_fleet_differential(seed=5, scenario="mini",
+                                         time_scale=50.0)
+        result = outcome.result
+        assert result["matched"], result
+        assert result["sim"]["hashes"] == result["reference"]
+        assert result["wire"]["hashes"] == result["reference"]
+        # All four state dimensions are covered by the comparison.
+        assert set(result["reference"]) \
+            == {"tangle", "ledger", "acl", "credit"}
+        # Both legs emit ChaosRunner-format convergence reports.
+        assert outcome.sim_report.scenario == "fleet-mini-sim"
+        assert outcome.wire_report.scenario == "fleet-mini-wire"
+        assert outcome.sim_report.converged
+        assert outcome.wire_report.converged
+
+    def test_unknown_scenario_refused(self):
+        with pytest.raises(ValueError):
+            run_fleet_differential(seed=5, scenario="nope")
+
+    def test_scenario_catalog_shape(self):
+        assert "smoke" in FLEET_SCENARIOS
+        assert FLEET_SCENARIOS["smoke"]["node_count"] == 5

@@ -64,10 +64,42 @@ class TestLatencyModel:
 
 
 class TestMessage:
-    def test_ids_are_unique(self):
+    def test_bare_messages_carry_no_id(self):
+        # Message ids are allocated by transports, not by the
+        # dataclass: a bare Message is id 0 and never consults any
+        # process-global state.
         a = Message("s", "r", "k", None, 0.0)
         b = Message("s", "r", "k", None, 0.0)
-        assert a.message_id != b.message_id
+        assert a.message_id == 0
+        assert b.message_id == 0
+
+    def test_ids_scoped_per_network(self):
+        # Regression for the old module-global counter: two Networks
+        # in one process must each hand out an independent 1, 2, 3, …
+        # sequence, so sim runs are reproducible regardless of what
+        # other transports the process has already constructed.
+        from repro.network.network import Network, NetworkNode
+        from repro.network.simulator import EventScheduler
+
+        class Sink(NetworkNode):
+            def handle_message(self, message):
+                pass
+
+        def run_network():
+            scheduler = EventScheduler()
+            network = Network(scheduler, rng=random.Random(0))
+            seen = []
+            for address in ("a", "b"):
+                network.attach(Sink(address))
+            network.add_tap(lambda m: seen.append(m.message_id))
+            for _ in range(3):
+                network.send("a", "b", "ping", None)
+            scheduler.run()
+            return seen
+
+        assert run_network() == [1, 2, 3]
+        # A second, entirely separate Network restarts from 1.
+        assert run_network() == [1, 2, 3]
 
     def test_repr(self):
         message = Message("alice", "bob", "ping", None, 1.5)
