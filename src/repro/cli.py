@@ -13,6 +13,9 @@ Usage::
     python -m repro chaos --scenario partition-heal --seed 7
     python -m repro storage --seed 7 --backend file
     python -m repro fleet --scenario smoke --seed 7
+    python -m repro fleet --processes 3 --seed 7
+    python -m repro node --address n0 --genesis genesis.hex \
+        --storage-backend file --storage-dir /var/lib/biot
 
 Each experiment subcommand prints the same series the matching
 benchmark writes to ``benchmarks/out/``; ``workflow`` runs the Fig. 6
@@ -169,6 +172,62 @@ def build_parser() -> argparse.ArgumentParser:
                             "reports and hashes files here")
     fleet.add_argument("--list", action="store_true",
                        help="list available fleet scenarios and exit")
+    fleet.add_argument("--processes", type=int, default=None,
+                       help="run the multi-process differential instead: "
+                            "spawn this many full-node OS processes, "
+                            "kill -9 one mid-workload, cold-restart it, "
+                            "and compare every process to the reference "
+                            "hashes")
+    fleet.add_argument("--storage-backend", choices=["file", "sqlite"],
+                       default="file",
+                       help="durable store behind each node process "
+                            "(multi-process mode)")
+    fleet.add_argument("--crypto-backend",
+                       choices=["reference", "accel"], default="reference",
+                       help="signature backend in each node process "
+                            "(multi-process mode)")
+    fleet.add_argument("--no-crash", action="store_true",
+                       help="skip the kill -9/cold-restart step "
+                            "(multi-process mode)")
+    fleet.add_argument("--run-dir", type=str, default=None,
+                       help="working directory for stores/logs "
+                            "(multi-process mode; default: temporary)")
+
+    node = sub.add_parser(
+        "node", help="run ONE full node as this OS process: listen on "
+                     "TCP, bootstrap via seed nodes, serve Prometheus "
+                     "metrics, and print a machine-readable ready line")
+    node.add_argument("--address", required=True,
+                      help="this node's fleet address (e.g. n0)")
+    node.add_argument("--genesis", required=True,
+                      help="path to the deployment genesis transaction "
+                           "(hex-encoded bytes)")
+    node.add_argument("--rng-seed", type=int, default=0,
+                      help="node rng seed (must match the reference "
+                           "fleet's for hash-comparable runs)")
+    node.add_argument("--listen", type=str, default="127.0.0.1:0",
+                      help="host:port to listen on (port 0 = ephemeral)")
+    node.add_argument("--advertise-host", type=str, default=None,
+                      help="host peers should dial (defaults to the "
+                           "listen host; needed behind 0.0.0.0)")
+    node.add_argument("--seed-node", action="append", default=[],
+                      dest="seed_nodes", metavar="ADDR=HOST:PORT",
+                      help="bootstrap seed (repeatable); omit to run "
+                           "as a genesis seed node")
+    node.add_argument("--storage-backend",
+                      choices=["none", "memory", "file", "sqlite"],
+                      default="none",
+                      help="durable store; a populated store triggers "
+                           "an automatic cold restore (restart path)")
+    node.add_argument("--storage-dir", type=str, default=None)
+    node.add_argument("--crypto-backend",
+                      choices=["reference", "accel"], default="reference")
+    node.add_argument("--metrics-port", type=int, default=None,
+                      help="serve Prometheus text on this port "
+                           "(0 = ephemeral; omitted = no exporter)")
+    node.add_argument("--time-scale", type=float, default=1.0,
+                      help="simulated seconds per wall second for "
+                           "protocol timers")
 
     return parser
 
@@ -385,12 +444,88 @@ def _cmd_storage(args) -> int:
     return 0 if result["matched"] else 1
 
 
+def _cmd_node(args) -> int:
+    from .network.proc import NodeProcessSpec, run_node_process
+
+    try:
+        host, _, port_text = args.listen.rpartition(":")
+        spec = NodeProcessSpec(
+            address=args.address,
+            genesis_path=args.genesis,
+            rng_seed=args.rng_seed,
+            listen_host=host or "127.0.0.1",
+            listen_port=int(port_text),
+            advertise_host=args.advertise_host,
+            seeds=list(args.seed_nodes),
+            storage_backend=args.storage_backend,
+            storage_dir=args.storage_dir,
+            crypto_backend=args.crypto_backend,
+            metrics_port=args.metrics_port,
+            time_scale=args.time_scale,
+        )
+    except ValueError as exc:
+        print(f"repro node: {exc}", file=sys.stderr)
+        return 2
+    return run_node_process(spec)
+
+
+def _cmd_fleet_processes(args) -> int:
+    import json
+    import os
+
+    from .network.fleet_proc import run_proc_differential
+
+    if args.processes < 1:
+        print("repro fleet: --processes must be >= 1", file=sys.stderr)
+        return 2
+    transactions = args.transactions
+    if transactions is None:
+        from .network.differential import FLEET_SCENARIOS
+        transactions = FLEET_SCENARIOS.get(
+            args.scenario, {}).get("transactions", 12)
+
+    result = run_proc_differential(
+        seed=args.seed, processes=args.processes,
+        transactions=transactions, run_dir=args.run_dir, host=args.host,
+        storage_backend=args.storage_backend,
+        crypto_backend=args.crypto_backend, time_scale=args.time_scale,
+        crash=not args.no_crash)
+
+    proc = result["proc"]
+    verdict = "MATCHED" if result["matched"] else "DIVERGED"
+    print(f"proc ≡ reference: {verdict}")
+    print(f"proc: converged={proc['converged']} "
+          f"sync_rounds={proc['sync_rounds']} "
+          f"rejected={len(proc['rejected'])}")
+    if proc["crash"]:
+        crash = proc["crash"]
+        print(f"crash: {crash['victim']} killed at tx "
+              f"{crash['killed_at']}, cold-restored at tx "
+              f"{crash['restarted_at']} "
+              f"({crash['restored_records']} journal records)")
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        canonical = lambda value: json.dumps(
+            value, sort_keys=True, separators=(",", ":"))
+        with open(os.path.join(args.out_dir, "fleet-proc.json"),
+                  "w") as handle:
+            handle.write(canonical(result) + "\n")
+        with open(os.path.join(args.out_dir, "hashes-proc.json"),
+                  "w") as handle:
+            handle.write(canonical(proc["hashes"]) + "\n")
+        print(f"artifacts -> {args.out_dir}")
+    return 0 if result["matched"] else 1
+
+
 def _cmd_fleet(args) -> int:
     import json
     import os
 
     from .network.differential import FLEET_SCENARIOS, run_fleet_differential
 
+    if args.processes is not None:
+        return _cmd_fleet_processes(args)
     if args.list:
         for name in sorted(FLEET_SCENARIOS):
             shape = FLEET_SCENARIOS[name]
@@ -455,6 +590,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "storage": _cmd_storage,
     "fleet": _cmd_fleet,
+    "node": _cmd_node,
 }
 
 

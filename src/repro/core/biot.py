@@ -121,6 +121,18 @@ class BIoTConfig:
             AsyncClock` ratio); >1 compresses protocol timers so wire
             tests finish quickly.  Ignored by the simulator, whose
             virtual clock needs no scaling.
+        advertise_host: the host peers should dial to reach this
+            deployment's nodes (asyncio transport only).  Defaults to
+            the listen host; set it when listening on a wildcard
+            address (``0.0.0.0``) or behind NAT.
+        discovery_seeds: ``address=host:port`` seed-node specs
+            (asyncio transport only).  When non-empty, every full node
+            runs a :class:`~repro.network.discovery.DiscoveryService`
+            and bootstraps into the *external* fleet those seeds
+            anchor — the multi-process deployment path, where no
+            shared in-process directory exists.  Empty (default) keeps
+            the single-process behaviour: peers resolve through the
+            deployment's shared directory.
     """
 
     gateway_count: int = 2
@@ -149,6 +161,8 @@ class BIoTConfig:
     listen_host: str = "127.0.0.1"
     listen_base_port: int = 0
     time_scale: float = 1.0
+    advertise_host: Optional[str] = None
+    discovery_seeds: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.gateway_count < 1:
@@ -181,6 +195,13 @@ class BIoTConfig:
             raise ValueError("listen_base_port must be in [0, 65535]")
         if self.time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if self.discovery_seeds and self.transport != "asyncio":
+            raise ValueError(
+                "discovery_seeds requires transport='asyncio' — the "
+                "simulator resolves peers through its own directory")
+        from ..network.discovery import parse_seed
+        for spec in self.discovery_seeds:
+            parse_seed(spec)  # raises ValueError on malformed specs
 
 
 class BIoTSystem:
@@ -194,6 +215,7 @@ class BIoTSystem:
                  crypto_pool=None,
                  runners: Optional[List[NodeRunner]] = None,
                  directory: Optional[Dict[str, Tuple[str, int]]] = None,
+                 discovery: Optional[List[object]] = None,
                  telemetry=NULL_REGISTRY, tracer=NULL_TRACER,
                  lifecycle=NULL_LIFECYCLE):
         self.config = config
@@ -201,6 +223,7 @@ class BIoTSystem:
         self.network = network
         self.runners = runners
         self.directory = directory
+        self.discovery = discovery if discovery is not None else []
         self.manager = manager
         self.gateways = gateways
         self.devices = devices
@@ -276,7 +299,8 @@ class BIoTSystem:
                 port = (0 if config.listen_base_port == 0
                         else config.listen_base_port + listen_index)
                 listen = (config.listen_host, port)
-            runners.append(NodeRunner(node, transport, listen=listen))
+            runners.append(NodeRunner(node, transport, listen=listen,
+                                      advertise_host=config.advertise_host))
 
         # One verification cache and one decode cache for the whole
         # deployment: verification of an immutable transaction is
@@ -406,6 +430,19 @@ class BIoTSystem:
                 node.attach_persistence(
                     NodePersistence(store, telemetry=telemetry))
 
+        # Multi-process deployments: every full node bootstraps into
+        # the external fleet through the configured seed nodes; the
+        # in-process directory still short-circuits local lookups.
+        discovery: List[object] = []
+        if asyncio_mode and config.discovery_seeds:
+            from ..network.discovery import DiscoveryService, parse_seed
+            seeds = [parse_seed(spec) for spec in config.discovery_seeds]
+            for runner, node in zip(runners, full_nodes):
+                discovery.append(DiscoveryService(
+                    runner.transport, address=node.address, role="full",
+                    seeds=seeds, policy=config.retry_policy,
+                    on_full_peer=node.add_peer, telemetry=telemetry))
+
         devices: List[LightNode] = []
         for i, (address, keys) in enumerate(sorted(device_keys.items())):
             sensor_type = config.sensor_cycle[i % len(config.sensor_cycle)]
@@ -444,6 +481,7 @@ class BIoTSystem:
             crypto_pool=crypto_pool,
             runners=runners,
             directory=directory,
+            discovery=discovery if asyncio_mode else None,
             telemetry=telemetry,
             tracer=tracer,
             lifecycle=lifecycle,
@@ -526,6 +564,19 @@ class BIoTSystem:
         self._require_asyncio("start_fleet")
         for runner in self.runners:
             await runner.start()
+        for service in self.discovery:
+            service.start()
+
+    def listen_addresses(self) -> Dict[str, Tuple[str, int]]:
+        """Bound ``address -> (host, port)`` for every listening node
+        (meaningful after :meth:`start_fleet`; ephemeral ports included,
+        which is how tests discover what the OS assigned)."""
+        self._require_asyncio("listen_addresses")
+        return {
+            runner.address: runner.bound_address
+            for runner in self.runners
+            if runner.bound_address is not None
+        }
 
     async def stop_fleet(self) -> None:
         """Gracefully shut the fleet down (reverse boot order):

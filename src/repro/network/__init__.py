@@ -2,10 +2,13 @@
 contract: a discrete-event simulator (:class:`SimTransport`, the
 bit-deterministic reference) and a real asyncio/TCP transport
 (:class:`AsyncioTransport`, convergence-deterministic), plus the
-length-prefixed frame codec, gossip and solidification."""
+length-prefixed frame codec, gossip and solidification, seed-node peer
+discovery (:class:`DiscoveryService`) and the one-node-per-OS-process
+lane (:class:`NodeProcessSpec` / :class:`ProcessFleet`)."""
 
 from .aio import AsyncClock, AsyncioScheduler, AsyncioTransport, NodeRunner
 from .base import SchedulerLike, Transport, is_transport
+from .discovery import DiscoveryService, PeerInfo, parse_seed
 from .frame import (
     FrameDecoder,
     FrameError,
@@ -15,6 +18,7 @@ from .frame import (
 )
 from .gossip import GossipRelay, SolidificationBuffer
 from .network import Network, NetworkNode, SimTransport
+from .proc import NodeProcessSpec, run_node_process
 from .simulator import EventScheduler
 from .transport import (
     BACKBONE_LINK,
@@ -48,4 +52,9 @@ __all__ = [
     "LOCAL_LINK",
     "GossipRelay",
     "SolidificationBuffer",
+    "DiscoveryService",
+    "PeerInfo",
+    "parse_seed",
+    "NodeProcessSpec",
+    "run_node_process",
 ]

@@ -178,6 +178,11 @@ class AsyncioTransport:
         self._node = None
         self._server: Optional[asyncio.AbstractServer] = None
         self.listen_address: Optional[Tuple[str, int]] = None
+        self.advertised_address: Optional[Tuple[str, int]] = None
+        # kind -> callable(Message); consulted before node delivery so
+        # out-of-band protocols (peer discovery, fleet control) can ride
+        # the same framed envelopes without touching node handlers.
+        self._handlers: Dict[str, object] = {}
         self._outboxes: Dict[str, asyncio.Queue] = {}
         self._writer_tasks: Dict[str, asyncio.Task] = {}
         self._reader_tasks: Set[asyncio.Task] = set()
@@ -243,6 +248,10 @@ class AsyncioTransport:
                 f"AsyncioTransport is one-node-per-instance")
         self._node = node
         node.bind(self)
+        if self.advertised_address is not None:
+            # listen() ran before attach: publish now that the bound
+            # address finally has a node name to file it under.
+            self.directory[node.address] = self.advertised_address
 
     def node(self, address: str):
         if self._node is not None and self._node.address == address:
@@ -264,15 +273,38 @@ class AsyncioTransport:
         """Observe every delivered message (metrics, debugging)."""
         self._taps.append(tap)
 
+    def register_handler(self, kind: str, handler) -> None:
+        """Route every received frame of *kind* to *handler* instead of
+        the local node.
+
+        Control-plane protocols (peer discovery ``disc_*``, fleet
+        control ``fleet_*``) register here: their handlers run before
+        the recipient check, so a frame addressed to a node name that
+        has not bootstrapped yet — exactly the situation during
+        discovery — is still answered instead of dropped.  One handler
+        per kind; re-registering a kind replaces the previous handler.
+        """
+        self._handlers[kind] = handler
+
     # -- listening ---------------------------------------------------------
 
-    async def listen(self, host: str = "127.0.0.1",
-                     port: int = 0) -> Tuple[str, int]:
+    _WILDCARD_HOSTS = frozenset({"0.0.0.0", "::", ""})
+
+    async def listen(self, host: str = "127.0.0.1", port: int = 0, *,
+                     advertise_host: Optional[str] = None
+                     ) -> Tuple[str, int]:
         """Accept inbound connections; returns the bound (host, port).
 
         Port 0 picks an ephemeral port — the sandboxed fleet fixture's
-        default, so parallel test runs never collide.  The bound
-        address is published into the shared directory.
+        default, so parallel test runs never collide; the OS-assigned
+        port is read back from the bound socket and surfaced through
+        :attr:`listen_address` / :attr:`bound_port`.  The *advertised*
+        address — what peers should dial — is published into the shared
+        directory: ``advertise_host`` when given, otherwise the bind
+        host, with wildcard binds (``0.0.0.0`` / ``::``) rewritten to
+        ``127.0.0.1`` because a wildcard is listenable but not dialable.
+        If no node is attached yet, publication is deferred until
+        :meth:`attach` names one.
         """
         if self._server is not None:
             raise RuntimeError("transport is already listening")
@@ -280,9 +312,19 @@ class AsyncioTransport:
             self._serve_connection, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.listen_address = (sockname[0], sockname[1])
+        if advertise_host is None:
+            advertise_host = ("127.0.0.1" if host in self._WILDCARD_HOSTS
+                              else host)
+        self.advertised_address = (advertise_host, sockname[1])
         if self._node is not None:
-            self.directory[self._node.address] = self.listen_address
+            self.directory[self._node.address] = self.advertised_address
         return self.listen_address
+
+    @property
+    def bound_port(self) -> Optional[int]:
+        """The OS-assigned listen port, or None when not listening."""
+        return None if self.listen_address is None else \
+            self.listen_address[1]
 
     async def _serve_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
@@ -485,8 +527,17 @@ class AsyncioTransport:
             self._discard_writer(writer)
 
     def _dispatch(self, message: Message) -> None:
+        if self._closing:
+            self._count_drop(message.kind)
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            self.messages_delivered += 1
+            self._m_delivered.inc(kind=message.kind)
+            handler(message)
+            return
         node = self._node
-        if node is None or self._closing:
+        if node is None:
             self._count_drop(message.kind)
             return
         if message.recipient != node.address:
@@ -543,10 +594,12 @@ class NodeRunner:
     """
 
     def __init__(self, node, transport: AsyncioTransport, *,
-                 listen: Optional[Tuple[str, int]] = None):
+                 listen: Optional[Tuple[str, int]] = None,
+                 advertise_host: Optional[str] = None):
         self.node = node
         self.transport = transport
         self._listen = listen
+        self._advertise_host = advertise_host
         self.bound_address: Optional[Tuple[str, int]] = None
         self.started = False
         transport.attach(node)
@@ -555,9 +608,16 @@ class NodeRunner:
     def address(self) -> str:
         return self.node.address
 
+    @property
+    def bound_port(self) -> Optional[int]:
+        """The OS-assigned listen port (after start), or None."""
+        return None if self.bound_address is None else \
+            self.bound_address[1]
+
     async def start(self) -> "NodeRunner":
         if self._listen is not None:
-            self.bound_address = await self.transport.listen(*self._listen)
+            self.bound_address = await self.transport.listen(
+                *self._listen, advertise_host=self._advertise_host)
         self.started = True
         return self
 

@@ -1,0 +1,843 @@
+"""Process-fleet harness: spawn, drive, crash, restart, compare.
+
+:mod:`repro.network.differential` proved sim ≡ wire inside one
+process; this module extends the differential across **OS process
+boundaries**.  A :class:`ProcessFleet` launches each full node as its
+own ``repro node`` child (``python -m repro node …``), reads the
+machine-readable ready line to learn its OS-assigned ports, and keeps
+handles for ``kill -9`` / SIGTERM / cold-restart choreography.  A
+:class:`FleetController` is the parent side of the wire: one
+connect-only transport carrying both the workload submissions (the
+same serial :class:`~repro.network.differential._SubmitDriver`
+protocol) and the fleet control plane (``fleet_status`` /
+``fleet_resync`` / ``fleet_shutdown`` request/response RPCs).
+
+Two consumers:
+
+* :func:`run_proc_differential` — the correctness harness.  Drives the
+  pre-generated seeded workload into a durable-storage process fleet,
+  SIGKILLs a victim mid-workload, cold-restarts it from its journal,
+  and requires **every process** to converge to the reference node's
+  byte-identical tangle/ledger/ACL/credit hashes.
+* :func:`run_scale_bench` — the performance harness.  Submits
+  *sharded* workloads (each shard's parent links stay inside the
+  shard, so processes never wait on each other) to 1/2/4 isolated
+  node processes and measures wall-clock tx/s.  Per-transaction cost
+  is crypto-dominated (signature verification), so with enough cores
+  throughput scales with process count — the multi-core number one
+  process could never produce.  Results land in
+  ``BENCH_fleet_scale.json`` with the host's usable-CPU count
+  recorded, because on a 1-core box the curve is legitimately flat.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import select
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.acl import AclAction, AuthorizationList
+from ..core.credit import CreditParameters
+from ..crypto.keys import KeyPair
+from ..network.network import NetworkNode
+from ..tangle.ledger import TransferPayload
+from ..tangle.transaction import Transaction, TransactionKind
+from .aio import AsyncioScheduler, AsyncioTransport, NodeRunner
+from .differential import (
+    _MAX_SYNC_ROUNDS,
+    _SUBMIT_ATTEMPTS,
+    FleetWorkload,
+    _new_consensus,
+    _SubmitDriver,
+    build_workload,
+)
+from .proc import (
+    READY_EVENT,
+    RESYNC_ACK_KIND,
+    RESYNC_KIND,
+    SHUTDOWN_ACK_KIND,
+    SHUTDOWN_KIND,
+    STATUS_KIND,
+    STATUS_RESPONSE_KIND,
+    NodeProcessSpec,
+)
+from .transport import Message
+
+__all__ = [
+    "FleetProcessError",
+    "NodeProcess",
+    "ProcessFleet",
+    "FleetController",
+    "run_proc_leg",
+    "run_proc_differential",
+    "ShardedWorkload",
+    "build_sharded_workload",
+    "run_scale_bench",
+    "scrape_metrics",
+]
+
+READY_TIMEOUT = 30.0
+"""Wall seconds a child gets to print its ready line."""
+
+
+class FleetProcessError(RuntimeError):
+    """A child process failed to start, answer, or die on cue."""
+
+
+# -- process management ----------------------------------------------------
+
+@dataclass
+class NodeProcess:
+    """One spawned ``repro node`` child."""
+
+    spec: NodeProcessSpec
+    process: subprocess.Popen
+    stderr_path: str
+    ready: Optional[Dict[str, object]] = None
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def _read_ready_line(process: subprocess.Popen, *, timeout: float,
+                     what: str, stderr_path: str) -> str:
+    """Block (with a deadline) until the child's first stdout line."""
+    stream = process.stdout
+    os.set_blocking(stream.fileno(), False)
+    deadline = time.monotonic() + timeout
+    buffer = b""
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise FleetProcessError(
+                f"{what} exited rc={process.returncode} before its ready "
+                f"line; stderr tail:\n{_tail(stderr_path)}")
+        readable, _, _ = select.select([stream], [], [], 0.1)
+        if not readable:
+            continue
+        chunk = stream.read(65536)
+        if not chunk:
+            continue
+        buffer += chunk
+        if b"\n" in buffer:
+            line, _, _ = buffer.partition(b"\n")
+            return line.decode("utf-8")
+    raise FleetProcessError(
+        f"{what} produced no ready line within {timeout:.0f}s; "
+        f"stderr tail:\n{_tail(stderr_path)}")
+
+
+def _tail(path: str, limit: int = 4000) -> str:
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return "<no stderr captured>"
+    return data[-limit:].decode("utf-8", errors="replace") or "<empty>"
+
+
+class ProcessFleet:
+    """Spawns and supervises ``repro node`` children.
+
+    ``run_dir`` collects per-node stderr logs; the children inherit the
+    parent environment with ``src/`` prepended to ``PYTHONPATH`` so the
+    fleet runs from a source checkout without installation.
+    """
+
+    def __init__(self, *, run_dir: str, python: Optional[str] = None,
+                 env: Optional[Dict[str, str]] = None):
+        os.makedirs(run_dir, exist_ok=True)
+        self.run_dir = run_dir
+        self.python = python if python is not None else sys.executable
+        base = dict(os.environ if env is None else env)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        existing = base.get("PYTHONPATH")
+        base["PYTHONPATH"] = (src_root if not existing
+                              else src_root + os.pathsep + existing)
+        self.env = base
+        self.processes: Dict[str, NodeProcess] = {}
+
+    def __enter__(self) -> "ProcessFleet":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def spawn(self, spec: NodeProcessSpec, *,
+              timeout: float = READY_TIMEOUT) -> Dict[str, object]:
+        """Launch *spec* and block until its ready line; returns it."""
+        existing = self.processes.get(spec.address)
+        if existing is not None and existing.alive:
+            raise FleetProcessError(
+                f"{spec.address} is already running (pid {existing.pid})")
+        stderr_path = os.path.join(self.run_dir,
+                                   f"{spec.address}.stderr.log")
+        with open(stderr_path, "ab") as stderr:
+            process = subprocess.Popen(
+                [self.python, "-m", "repro"] + spec.to_argv(),
+                stdout=subprocess.PIPE, stderr=stderr, env=self.env)
+        entry = NodeProcess(spec=spec, process=process,
+                            stderr_path=stderr_path)
+        self.processes[spec.address] = entry
+        line = _read_ready_line(process, timeout=timeout,
+                                what=f"node process {spec.address}",
+                                stderr_path=stderr_path)
+        info = json.loads(line)
+        if info.get("event") != READY_EVENT:
+            raise FleetProcessError(
+                f"{spec.address} printed {line!r} instead of a ready line")
+        entry.ready = info
+        return info
+
+    def respawn(self, address: str, *,
+                timeout: float = READY_TIMEOUT) -> Dict[str, object]:
+        """Relaunch a dead node with its original spec (same storage
+        dir, same seeds) — the cold-restart path."""
+        entry = self._entry(address)
+        if entry.alive:
+            raise FleetProcessError(f"{address} is still running")
+        return self.spawn(entry.spec, timeout=timeout)
+
+    def kill(self, address: str, *, timeout: float = 10.0) -> None:
+        """SIGKILL — the crash the journal must survive."""
+        entry = self._entry(address)
+        entry.process.kill()
+        entry.process.wait(timeout=timeout)
+
+    def terminate(self, address: str, *, timeout: float = 10.0) -> int:
+        """SIGTERM and wait; returns the exit code."""
+        entry = self._entry(address)
+        if entry.alive:
+            entry.process.terminate()
+        try:
+            return entry.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            entry.process.kill()
+            entry.process.wait(timeout=timeout)
+            raise FleetProcessError(
+                f"{address} ignored SIGTERM for {timeout:.0f}s; "
+                f"stderr tail:\n{_tail(entry.stderr_path)}")
+
+    def shutdown(self, *, timeout: float = 10.0) -> Dict[str, int]:
+        """Terminate every still-running child; SIGKILL stragglers."""
+        codes: Dict[str, int] = {}
+        for address, entry in self.processes.items():
+            if entry.alive:
+                entry.process.terminate()
+        for address, entry in self.processes.items():
+            try:
+                codes[address] = entry.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                entry.process.kill()
+                codes[address] = entry.process.wait(timeout=timeout)
+        return codes
+
+    def alive(self, address: str) -> bool:
+        entry = self.processes.get(address)
+        return entry is not None and entry.alive
+
+    def stderr_tail(self, address: str) -> str:
+        return _tail(self._entry(address).stderr_path)
+
+    def _entry(self, address: str) -> NodeProcess:
+        entry = self.processes.get(address)
+        if entry is None:
+            raise FleetProcessError(f"no such node process: {address}")
+        return entry
+
+
+# -- parent-side wire ------------------------------------------------------
+
+class FleetController:
+    """The parent's endpoint: submissions plus control-plane RPCs.
+
+    One connect-only transport; workload submissions ride the normal
+    ``submit_transaction`` protocol (serial, response-awaited), control
+    RPCs are request/response pairs matched on ``request_id``.
+    """
+
+    def __init__(self, transactions: List[bytes], *, target: str,
+                 directory: Dict[str, Tuple[str, int]],
+                 time_scale: float = 1.0, rng_seed: object = "ctl"):
+        self.scheduler = AsyncioScheduler(time_scale=time_scale)
+        self.directory = dict(directory)
+        self.transport = AsyncioTransport(
+            self.scheduler, directory=self.directory,
+            rng=random.Random(f"fleet-ctl:{rng_seed}"))
+        self.driver = _SubmitDriver(transactions, target=target)
+        self.runner = NodeRunner(self.driver, self.transport, listen=None)
+        self._rpc_seq = 0
+        self._rpc_futures: Dict[int, "asyncio.Future"] = {}
+        for kind in (STATUS_RESPONSE_KIND, RESYNC_ACK_KIND,
+                     SHUTDOWN_ACK_KIND):
+            self.transport.register_handler(kind, self._on_rpc_response)
+
+    async def start(self) -> "FleetController":
+        await self.runner.start()
+        return self
+
+    async def stop(self) -> None:
+        await self.runner.stop()
+        self.scheduler.cancel_all()
+
+    def set_address(self, address: str, host: str, port: int) -> None:
+        """Update a restarted node's dial address (new ephemeral port)."""
+        self.directory[address] = (host, port)
+
+    # -- control RPCs ------------------------------------------------------
+
+    def _on_rpc_response(self, message: Message) -> None:
+        future = self._rpc_futures.pop(message.body.get("request_id"), None)
+        if future is not None and not future.done():
+            future.set_result(dict(message.body))
+
+    async def rpc(self, address: str, kind: str,
+                  body: Optional[Dict[str, object]] = None, *,
+                  timeout: float = 10.0,
+                  attempts: int = 2) -> Dict[str, object]:
+        loop = asyncio.get_running_loop()
+        last_error: Optional[BaseException] = None
+        for _ in range(attempts):
+            self._rpc_seq += 1
+            request_id = self._rpc_seq
+            payload = dict(body or {})
+            payload["request_id"] = request_id
+            future = loop.create_future()
+            self._rpc_futures[request_id] = future
+            self.transport.send(self.driver.address, address, kind, payload)
+            try:
+                return await asyncio.wait_for(future, timeout=timeout)
+            except asyncio.TimeoutError as exc:
+                last_error = exc
+                self._rpc_futures.pop(request_id, None)
+        raise FleetProcessError(
+            f"no {kind} response from {address} after {attempts} "
+            f"attempt(s)") from last_error
+
+    async def status(self, address: str, *, now: float,
+                     timeout: float = 10.0) -> Dict[str, object]:
+        return await self.rpc(address, STATUS_KIND, {"now": float(now)},
+                              timeout=timeout)
+
+    async def resync(self, address: str) -> Dict[str, object]:
+        return await self.rpc(address, RESYNC_KIND)
+
+    async def shutdown_node(self, address: str,
+                            timeout: float = 10.0) -> Dict[str, object]:
+        return await self.rpc(address, SHUTDOWN_KIND, timeout=timeout,
+                              attempts=1)
+
+    # -- workload submission ----------------------------------------------
+
+    async def submit(self, index: int, *,
+                     attempts: int = _SUBMIT_ATTEMPTS,
+                     timeout: float = 10.0) -> Tuple[bool, Optional[str]]:
+        loop = asyncio.get_running_loop()
+        for _ in range(attempts):
+            future = loop.create_future()
+            self.driver.response_futures[index] = future
+            self.driver.submit(index)
+            try:
+                return await asyncio.wait_for(future, timeout=timeout)
+            except asyncio.TimeoutError:
+                self.driver.response_futures.pop(index, None)
+        raise FleetProcessError(
+            f"no submit_response for workload transaction {index} "
+            f"after {attempts} attempts")
+
+
+def scrape_metrics(host: str, port: int, *, timeout: float = 5.0) -> str:
+    """Fetch a node process's Prometheus page; returns the body text."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: fleet\r\n"
+                     b"Connection: close\r\n\r\n")
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    text = b"".join(chunks).decode("utf-8", errors="replace")
+    _, _, body = text.partition("\r\n\r\n")
+    return body
+
+
+# -- the multi-process differential ----------------------------------------
+
+def _write_genesis(workload_genesis, run_dir: str) -> str:
+    os.makedirs(run_dir, exist_ok=True)
+    path = os.path.join(run_dir, "genesis.hex")
+    with open(path, "w") as handle:
+        handle.write(workload_genesis.to_bytes().hex() + "\n")
+    return path
+
+
+async def _wait_bootstrap(controller: FleetController,
+                          addresses: List[str], *, expected_peers: int,
+                          now: float, timeout: float = 30.0) -> None:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    last: Dict[str, object] = {}
+    while loop.time() < deadline:
+        settled = True
+        for address in addresses:
+            try:
+                status = await controller.status(address, now=now,
+                                                 timeout=3.0)
+            except FleetProcessError:
+                settled = False
+                break
+            last[address] = (status.get("bootstrapped"),
+                             len(status.get("peers", ())))
+            if not status.get("bootstrapped") or \
+                    len(status.get("peers", ())) < expected_peers:
+                settled = False
+                break
+        if settled:
+            return
+        await asyncio.sleep(0.2)
+    raise FleetProcessError(
+        f"fleet bootstrap incomplete after {timeout:.0f}s "
+        f"(want {expected_peers} peers each): {last}")
+
+
+async def _collect_hashes(controller: FleetController,
+                          addresses: List[str], *,
+                          now: float) -> Dict[str, Dict[str, str]]:
+    per_node: Dict[str, Dict[str, str]] = {}
+    for address in addresses:
+        status = await controller.status(address, now=now)
+        per_node[address] = dict(status["hashes"])
+    return per_node
+
+
+async def run_proc_leg(workload: FleetWorkload, *, processes: int,
+                       seed: int, run_dir: str, host: str = "127.0.0.1",
+                       storage_backend: str = "file",
+                       crypto_backend: str = "reference",
+                       time_scale: float = 20.0, crash: bool = True,
+                       metrics: bool = True) -> Dict[str, object]:
+    """Drive *workload* through a fleet of real OS processes.
+
+    With ``crash=True`` (and ≥2 processes) the last node is SIGKILLed a
+    third of the way through the workload and cold-restarted from its
+    journal two thirds in — it must still converge to the reference
+    hashes, proving journal + restart + discovery + anti-entropy
+    compose across process boundaries.
+    """
+    if processes < 1:
+        raise ValueError("process fleet needs at least 1 process")
+    loop = asyncio.get_running_loop()
+    genesis_path = _write_genesis(workload.genesis, run_dir)
+    storage_dir = os.path.join(run_dir, "storage")
+    addresses = [f"n{i}" for i in range(processes)]
+    specs = [
+        NodeProcessSpec(
+            address=address, genesis_path=genesis_path, rng_seed=i,
+            listen_host=host, listen_port=0,
+            storage_backend=storage_backend, storage_dir=storage_dir,
+            crypto_backend=crypto_backend,
+            metrics_port=0 if metrics else None, time_scale=time_scale)
+        for i, address in enumerate(addresses)
+    ]
+
+    fleet = ProcessFleet(run_dir=run_dir)
+    controller: Optional[FleetController] = None
+    try:
+        # The first node is the discovery seed; everyone else hellos it.
+        seed_ready = await loop.run_in_executor(
+            None, lambda: fleet.spawn(specs[0]))
+        seed_spec = f"{addresses[0]}={seed_ready['host']}" \
+                    f":{seed_ready['port']}"
+        readies = {addresses[0]: seed_ready}
+        for spec in specs[1:]:
+            spec.seeds = [seed_spec]
+            info = await loop.run_in_executor(
+                None, lambda spec=spec: fleet.spawn(spec))
+            readies[spec.address] = info
+
+        directory = {address: (info["host"], info["port"])
+                     for address, info in readies.items()}
+        controller = FleetController(
+            workload.transactions, target=addresses[0],
+            directory=directory, time_scale=time_scale, rng_seed=seed)
+        await controller.start()
+        if processes > 1:
+            await _wait_bootstrap(controller, addresses,
+                                  expected_peers=processes - 1,
+                                  now=workload.credit_now)
+
+        victim = addresses[-1] if crash and processes >= 2 else None
+        total = len(workload.transactions)
+        kill_at = total // 3
+        restart_at = (2 * total) // 3
+        crash_record: Optional[Dict[str, object]] = None
+
+        for index in range(total):
+            if victim is not None and index == kill_at:
+                await loop.run_in_executor(
+                    None, lambda: fleet.kill(victim))
+            if victim is not None and index == restart_at:
+                info = await loop.run_in_executor(
+                    None, lambda: fleet.respawn(victim))
+                controller.set_address(victim, info["host"], info["port"])
+                readies[victim] = info
+                crash_record = {
+                    "victim": victim,
+                    "killed_at": kill_at,
+                    "restarted_at": restart_at,
+                    "restored_records": info.get("restored"),
+                }
+            await controller.submit(index)
+
+        reference = workload.reference_hashes
+        rounds = 0
+        per_node = await _collect_hashes(controller, addresses,
+                                         now=workload.credit_now)
+        while (any(h != reference for h in per_node.values())
+               and rounds < _MAX_SYNC_ROUNDS):
+            rounds += 1
+            for address in addresses:
+                await controller.resync(address)
+            await asyncio.sleep(0.3)
+            per_node = await _collect_hashes(controller, addresses,
+                                             now=workload.credit_now)
+
+        converged = all(h == reference for h in per_node.values())
+
+        metrics_report: Dict[str, object] = {}
+        if metrics:
+            for address in addresses:
+                port = readies[address].get("metrics_port")
+                page = await loop.run_in_executor(
+                    None, lambda port=port: scrape_metrics(host, port))
+                metrics_report[address] = {
+                    "port": port,
+                    "scraped": "repro_transport_frames_sent_total" in page,
+                    "bytes": len(page),
+                }
+
+        # Graceful teardown through the control plane; the context
+        # manager below SIGTERMs whatever does not comply.
+        for address in addresses:
+            try:
+                await controller.shutdown_node(address, timeout=5.0)
+            except FleetProcessError:
+                pass
+
+        return {
+            "seed": seed,
+            "processes": processes,
+            "transactions": total,
+            "storage_backend": storage_backend,
+            "crypto_backend": crypto_backend,
+            "reference": reference,
+            "proc": {
+                "converged": converged,
+                "sync_rounds": rounds,
+                "hashes": (next(iter(per_node.values()))
+                           if converged and per_node else {}),
+                "per_node": per_node,
+                "rejected": list(controller.driver.rejected),
+                "crash": crash_record,
+                "metrics": metrics_report,
+            },
+            "matched": converged and not controller.driver.rejected,
+        }
+    finally:
+        fleet.shutdown()
+        if controller is not None:
+            await controller.stop()
+
+
+def run_proc_differential(*, seed: int, processes: int = 3,
+                          transactions: int = 12,
+                          run_dir: Optional[str] = None,
+                          host: str = "127.0.0.1",
+                          storage_backend: str = "file",
+                          crypto_backend: str = "reference",
+                          time_scale: float = 20.0,
+                          crash: bool = True,
+                          metrics: bool = True) -> Dict[str, object]:
+    """Build the seeded workload and run the process leg against it."""
+    import tempfile
+
+    workload = build_workload(seed, transactions=transactions)
+
+    def run(directory: str) -> Dict[str, object]:
+        return asyncio.run(run_proc_leg(
+            workload, processes=processes, seed=seed, run_dir=directory,
+            host=host, storage_backend=storage_backend,
+            crypto_backend=crypto_backend, time_scale=time_scale,
+            crash=crash, metrics=metrics))
+
+    if run_dir is not None:
+        return run(run_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-proc-") as tmp:
+        return run(tmp)
+
+
+# -- sharded scale benchmark -----------------------------------------------
+
+@dataclass
+class ShardedWorkload:
+    """Per-process transaction shards with no cross-shard parents.
+
+    Every shard opens with the same ACL-authorization transaction
+    (parents: genesis), after which its transactions reference only
+    earlier transactions of the *same* shard — so N processes can each
+    ingest their shard with zero coordination, and throughput measures
+    compute, not gossip convergence.
+    """
+
+    seed: int
+    genesis: Transaction
+    shards: List[List[bytes]] = field(default_factory=list)
+
+    @property
+    def transactions_per_shard(self) -> int:
+        return len(self.shards[0]) if self.shards else 0
+
+
+def build_sharded_workload(seed: int, *, shards: int,
+                           transactions_per_shard: int,
+                           devices_per_shard: int = 2) -> ShardedWorkload:
+    """Pre-generate *shards* self-contained transaction streams."""
+    if shards < 1 or transactions_per_shard < 2:
+        raise ValueError("need >=1 shard and >=2 transactions per shard")
+    from ..nodes.full_node import FullNode
+    from ..nodes.manager import ManagerNode
+
+    params = CreditParameters()
+    manager_keys = KeyPair.generate(
+        seed=f"fleet-scale:{seed}:manager".encode())
+    device_keys = [
+        [KeyPair.generate(
+            seed=f"fleet-scale:{seed}:s{s}:d{d}".encode())
+         for d in range(devices_per_shard)]
+        for s in range(shards)
+    ]
+    all_devices = [keys for shard in device_keys for keys in shard]
+    genesis = ManagerNode.create_genesis(
+        manager_keys, network_name=f"fleet-scale-{seed}",
+        token_allocations=[(manager_keys.node_id, 500)]
+        + [(keys.node_id, 500) for keys in all_devices])
+
+    # One shared ACL transaction, parented on genesis, authorizing the
+    # whole device population: byte-identical in every shard, so each
+    # isolated process admits the same device set.
+    acl_tx = Transaction.create(
+        manager_keys, kind=TransactionKind.ACL,
+        payload=AuthorizationList.make_update(
+            [keys.public for keys in all_devices],
+            action=AclAction.AUTHORIZE).to_bytes(),
+        timestamp=1.0, branch=genesis.tx_hash, trunk=genesis.tx_hash,
+        difficulty=1)
+    acl_bytes = acl_tx.to_bytes()
+
+    workload = ShardedWorkload(seed=seed, genesis=genesis)
+    for s in range(shards):
+        rng = random.Random(f"fleet-scale:{seed}:shard:{s}")
+        reference = FullNode(f"scale-ref-{s}", genesis,
+                             consensus=_new_consensus(params),
+                             rng=random.Random(s), enforce_pow=True)
+        if not reference.ingest_local(acl_tx):
+            raise RuntimeError("shard reference rejected the ACL tx")
+        shard: List[bytes] = [acl_bytes]
+        virtual_time = 2.0
+        for _ in range(transactions_per_shard - 1):
+            tips = reference.tangle.tips()
+            issuer = rng.choice(device_keys[s])
+            if rng.random() < 0.25:
+                recipient = rng.choice(
+                    [keys for keys in device_keys[s]
+                     if keys.node_id != issuer.node_id]
+                    or [manager_keys])
+                payload = TransferPayload(
+                    sender=issuer.node_id, recipient=recipient.node_id,
+                    amount=rng.randint(1, 3),
+                    sequence=reference.ledger.next_sequence(
+                        issuer.node_id)).to_bytes()
+                kind = TransactionKind.TRANSFER
+            else:
+                payload = rng.randbytes(16)
+                kind = TransactionKind.DATA
+            tx = Transaction.create(
+                issuer, kind=kind, payload=payload,
+                timestamp=virtual_time, branch=rng.choice(tips),
+                trunk=rng.choice(tips), difficulty=1)
+            if not reference.ingest_local(tx):
+                raise RuntimeError(
+                    f"shard {s} reference rejected its own transaction")
+            shard.append(tx.to_bytes())
+            virtual_time += 0.5
+        workload.shards.append(shard)
+    return workload
+
+
+class _BenchDriver(NetworkNode):
+    """Concurrent submitter: one in-flight transaction per shard,
+    responses matched on globally unique request ids."""
+
+    def __init__(self):
+        super().__init__("bench-driver")
+        self.futures: Dict[int, "asyncio.Future"] = {}
+
+    def submit(self, target: str, request_id: int,
+               encoded: bytes) -> bool:
+        return self.send(target, "submit_transaction",
+                         {"transaction": encoded,
+                          "request_id": request_id},
+                         size_bytes=len(encoded))
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind != "submit_response":
+            return
+        future = self.futures.pop(message.body.get("request_id"), None)
+        if future is not None and not future.done():
+            future.set_result((bool(message.body.get("ok")),
+                               message.body.get("error")))
+
+
+async def _bench_leg(workload: ShardedWorkload, *, processes: int,
+                     run_dir: str, host: str,
+                     crypto_backend: str) -> Dict[str, object]:
+    """Spawn *processes* isolated nodes, pump one shard into each,
+    and time the post-warmup stretch end to end."""
+    loop = asyncio.get_running_loop()
+    genesis_path = _write_genesis(workload.genesis, run_dir)
+    addresses = [f"b{i}" for i in range(processes)]
+    fleet = ProcessFleet(run_dir=run_dir)
+    scheduler = AsyncioScheduler(time_scale=1.0)
+    transport: Optional[AsyncioTransport] = None
+    runner: Optional[NodeRunner] = None
+    try:
+        readies = {}
+        for i, address in enumerate(addresses):
+            spec = NodeProcessSpec(
+                address=address, genesis_path=genesis_path, rng_seed=i,
+                listen_host=host, listen_port=0,
+                storage_backend="none", crypto_backend=crypto_backend,
+                metrics_port=0, time_scale=1.0)
+            readies[address] = await loop.run_in_executor(
+                None, lambda spec=spec: fleet.spawn(spec))
+        directory = {address: (info["host"], info["port"])
+                     for address, info in readies.items()}
+        driver = _BenchDriver()
+        transport = AsyncioTransport(
+            scheduler, directory=directory,
+            rng=random.Random(f"bench:{workload.seed}:{processes}"))
+        runner = NodeRunner(driver, transport, listen=None)
+        await runner.start()
+
+        async def submit_one(target: str, request_id: int,
+                             encoded: bytes) -> None:
+            for _ in range(_SUBMIT_ATTEMPTS):
+                future = loop.create_future()
+                driver.futures[request_id] = future
+                driver.submit(target, request_id, encoded)
+                try:
+                    ok, error = await asyncio.wait_for(future,
+                                                       timeout=20.0)
+                except asyncio.TimeoutError:
+                    driver.futures.pop(request_id, None)
+                    continue
+                if not ok and error != "duplicate":
+                    raise FleetProcessError(
+                        f"{target} rejected bench transaction "
+                        f"{request_id}: {error}")
+                return
+            raise FleetProcessError(
+                f"no submit_response from {target} for {request_id}")
+
+        async def drive_shard(index: int, *, start: int) -> None:
+            shard = workload.shards[index]
+            target = addresses[index]
+            for j in range(start, len(shard)):
+                await submit_one(target, index * 1_000_000 + j, shard[j])
+
+        # Warmup (untimed): the shared ACL transaction, which also
+        # proves each process is dialable before the clock starts.
+        for i in range(processes):
+            await submit_one(addresses[i], i * 1_000_000,
+                             workload.shards[i][0])
+
+        begin = time.perf_counter()
+        await asyncio.gather(
+            *[drive_shard(i, start=1) for i in range(processes)])
+        wall = time.perf_counter() - begin
+
+        timed = sum(len(workload.shards[i]) - 1
+                    for i in range(processes))
+        return {
+            "processes": processes,
+            "transactions": timed,
+            "wall_seconds": wall,
+            "tx_per_s": timed / wall if wall > 0 else 0.0,
+        }
+    finally:
+        fleet.shutdown()
+        if runner is not None:
+            await runner.stop()
+        scheduler.cancel_all()
+
+
+def run_scale_bench(*, seed: int, process_counts: Tuple[int, ...] = (1, 2, 4),
+                    transactions_per_process: int = 120,
+                    crypto_backend: str = "accel",
+                    host: str = "127.0.0.1",
+                    run_dir: Optional[str] = None,
+                    smoke: bool = False) -> Dict[str, object]:
+    """Measure wall-clock tx/s against 1/2/4-process fleets.
+
+    The report records ``cpus`` (the scheduler-usable core count):
+    scaling claims are only meaningful when the host can actually run
+    the processes in parallel, so consumers gate their assertions on
+    it rather than failing on single-core boxes.
+    """
+    import tempfile
+
+    workload = build_sharded_workload(
+        seed, shards=max(process_counts),
+        transactions_per_shard=transactions_per_process)
+
+    def run(directory: str) -> Dict[str, object]:
+        points: Dict[str, Dict[str, object]] = {}
+        for count in process_counts:
+            leg_dir = os.path.join(directory, f"p{count}")
+            point = asyncio.run(_bench_leg(
+                workload, processes=count, run_dir=leg_dir, host=host,
+                crypto_backend=crypto_backend))
+            points[f"p{count}"] = point
+        base = points[f"p{process_counts[0]}"]["tx_per_s"]
+        for point in points.values():
+            point["speedup"] = (point["tx_per_s"] / base
+                                if base > 0 else 0.0)
+        return {
+            "bench": "fleet_scale",
+            "seed": seed,
+            "smoke": smoke,
+            "cpus": len(os.sched_getaffinity(0)),
+            "crypto_backend": crypto_backend,
+            "transactions_per_process": transactions_per_process,
+            "process_counts": list(process_counts),
+            "points": points,
+        }
+
+    if run_dir is not None:
+        return run(run_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        return run(tmp)

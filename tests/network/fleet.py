@@ -26,25 +26,41 @@ class FleetSandbox:
 
     def __init__(self):
         self._tempdirs = []
-        self._sockets = []
+        self._ports = {}
 
     # -- resources ---------------------------------------------------------
 
     def ephemeral_port(self, host: str = "127.0.0.1") -> int:
         """Reserve a free localhost port.
 
-        The reserving socket is kept open (unbound listeners cannot
-        steal the port meanwhile) until teardown; tests that need the
-        port bound by a transport should prefer ``listen=(host, 0)``
-        and read the bound address back — this helper exists for the
-        cases that must know a port *before* anything listens on it,
-        e.g. reconnect tests that dial a not-yet-started peer.
+        The reserving socket stays **bound** (not listening) until
+        teardown or :meth:`release_port`, so a parallel test's
+        ephemeral bind cannot steal the port in the meantime — the
+        port-collision flake this fixture used to have when it closed
+        the socket immediately.  Dialing a bound-but-not-listening
+        port still gets ECONNREFUSED, exactly like a dead peer, which
+        is what reconnect tests want.  Tests that later bind the port
+        themselves (the peer "comes up") must call
+        :meth:`release_port` first; prefer ``listen=(host, 0)`` plus
+        reading the bound address back whenever nothing needs to know
+        the port in advance.
         """
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((host, 0))
         port = sock.getsockname()[1]
-        sock.close()
+        self._ports[port] = sock
+        return port
+
+    def release_port(self, port: int) -> int:
+        """Drop the reservation so something can actually bind *port*
+        (narrowing the steal window to the instant before the bind)."""
+        sock = self._ports.pop(port, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
         return port
 
     def storage_dir(self) -> str:
@@ -79,12 +95,12 @@ class FleetSandbox:
     # -- teardown ----------------------------------------------------------
 
     def close(self) -> None:
-        for sock in self._sockets:
+        for sock in self._ports.values():
             try:
                 sock.close()
             except OSError:
                 pass
-        self._sockets.clear()
+        self._ports.clear()
         for path in self._tempdirs:
             shutil.rmtree(path, ignore_errors=True)
         self._tempdirs.clear()

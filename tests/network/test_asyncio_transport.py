@@ -261,6 +261,7 @@ class TestReconnect:
             await asyncio.sleep(0.15)  # a few refused dial attempts
 
             server = Recorder("server")
+            fleet_sandbox.release_port(port)  # about to bind it for real
             server_runner = NodeRunner(server,
                                        _transport(scheduler, directory),
                                        listen=("127.0.0.1", port))

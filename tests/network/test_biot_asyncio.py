@@ -3,6 +3,8 @@ guards, and the full smart-factory workflow end to end over localhost
 TCP — devices submitting real sensor reports through gateways, the
 manager distributing keys, every full node converging."""
 
+import asyncio
+
 import pytest
 
 from repro.core.biot import BIoTConfig, BIoTSystem
@@ -29,6 +31,15 @@ class TestConfigValidation:
     def test_bad_listen_port_refused(self):
         with pytest.raises(ValueError):
             BIoTConfig(transport="asyncio", listen_base_port=70000)
+
+    def test_discovery_seeds_require_the_asyncio_transport(self):
+        with pytest.raises(ValueError):
+            BIoTConfig(discovery_seeds=("n0=127.0.0.1:4100",))
+
+    def test_malformed_discovery_seed_refused(self):
+        with pytest.raises(ValueError):
+            BIoTConfig(transport="asyncio",
+                       discovery_seeds=("n0@127.0.0.1:4100",))
 
 
 class TestModeGuards:
@@ -64,6 +75,38 @@ class TestAsyncioDeployment:
         directories = {id(r.transport.directory) for r in system.runners}
         assert len(directories) == 1
 
+    def test_discovery_seeds_wire_a_service_per_full_node(self):
+        config = BIoTConfig(gateway_count=2, seed=5, transport="asyncio",
+                            discovery_seeds=("ext=127.0.0.1:4100",))
+        system = BIoTSystem.build(config)
+        # One DiscoveryService per full node (manager + gateways),
+        # each priming its own transport's directory with the seed.
+        assert len(system.discovery) == 1 + 2
+        for service in system.discovery:
+            assert not service.bootstrapped  # start_fleet hellos later
+            assert service.transport.directory["ext"] == \
+                ("127.0.0.1", 4100)
+
+    def test_listen_addresses_surface_bound_ports(self, fleet_sandbox):
+        config = BIoTConfig(gateway_count=2, device_count=2, seed=7,
+                            transport="asyncio", time_scale=20.0)
+        system = BIoTSystem.build(config)
+
+        async def scenario():
+            try:
+                await system.start_fleet()
+                return system.listen_addresses()
+            finally:
+                await system.stop_fleet()
+                system.close()
+
+        bound = fleet_sandbox.run(scenario())
+        full_addresses = {node.address for node in system.full_nodes}
+        assert full_addresses <= set(bound)
+        ports = [port for _, port in bound.values()]
+        assert all(port > 0 for port in ports)
+        assert len(set(ports)) == len(ports)  # all distinct, all real
+
     def test_smart_factory_over_tcp(self, fleet_sandbox):
         config = BIoTConfig(gateway_count=2, device_count=4, seed=11,
                             transport="asyncio", time_scale=20.0,
@@ -76,6 +119,16 @@ class TestAsyncioDeployment:
                 await system.initialize_async(settle_seconds=2.0)
                 system.start_devices()
                 await system.run_for_async(15.0)
+                # A report submitted in the last instant of the run
+                # window may still be in flight; let acceptance land
+                # instead of racing the fleet stop (flaky under a
+                # loaded single-core runner).
+                for _ in range(200):
+                    interim = system.summary()
+                    if interim["submissions_accepted"] == \
+                            interim["submissions_sent"]:
+                        break
+                    await asyncio.sleep(0.05)
             finally:
                 await system.stop_fleet()
                 system.close()

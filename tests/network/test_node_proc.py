@@ -1,0 +1,213 @@
+"""The ``repro node`` OS-process entrypoint, driven as a parent would.
+
+Each test spawns real child interpreters through
+:class:`~repro.network.fleet_proc.ProcessFleet` and speaks to them over
+TCP — ready-line contract, per-process Prometheus exporter, and the two
+ways a process dies:
+
+* SIGTERM mid-reconnect must flush writers and close the store cleanly
+  — the journal reopens with no tail corruption and cold-restores to
+  the reference hashes (graceful-shutdown regression);
+* SIGKILL is the crash the journal must survive: a cold restart of the
+  same command line replays the journal and catches back up.
+"""
+
+import random
+
+import pytest
+
+from repro.network.differential import _new_consensus, build_workload
+from repro.network.fleet_proc import (
+    FleetController,
+    FleetProcessError,
+    ProcessFleet,
+    _write_genesis,
+    scrape_metrics,
+)
+from repro.network.proc import NodeProcessSpec
+from repro.storage.differential import node_hashes
+
+TIME_SCALE = 20.0
+
+
+def _spec(address, genesis_path, **kwargs):
+    kwargs.setdefault("rng_seed", int(address[1:]))
+    kwargs.setdefault("time_scale", TIME_SCALE)
+    return NodeProcessSpec(address=address, genesis_path=genesis_path,
+                           **kwargs)
+
+
+def _controller(workload, ready, *, target):
+    return FleetController(
+        workload.transactions, target=target,
+        directory={ready["address"]: (ready["host"], ready["port"])},
+        time_scale=TIME_SCALE, rng_seed=workload.seed)
+
+
+async def _submit_all(controller, count, *, start=0):
+    for index in range(start, count):
+        accepted, reason = await controller.submit(index)
+        assert accepted, f"tx {index} rejected: {reason}"
+
+
+class TestSpec:
+    def test_to_argv_round_trips_the_command_line(self):
+        spec = NodeProcessSpec(
+            address="n3", genesis_path="/tmp/g.hex", rng_seed=3,
+            listen_port=4103, seeds=["n0=127.0.0.1:4100"],
+            storage_backend="file", storage_dir="/tmp/s",
+            crypto_backend="accel", metrics_port=0, time_scale=20.0)
+        argv = spec.to_argv()
+        assert argv[0] == "node"
+        for flag, value in (("--address", "n3"),
+                            ("--rng-seed", "3"),
+                            ("--listen", "127.0.0.1:4103"),
+                            ("--storage-backend", "file"),
+                            ("--storage-dir", "/tmp/s"),
+                            ("--crypto-backend", "accel"),
+                            ("--metrics-port", "0"),
+                            ("--seed-node", "n0=127.0.0.1:4100")):
+            index = argv.index(flag)
+            assert argv[index + 1] == value
+
+    def test_rejects_bad_configurations(self):
+        with pytest.raises(ValueError):
+            NodeProcessSpec(address="n0", genesis_path="g",
+                            storage_backend="papyrus")
+        with pytest.raises(ValueError):
+            NodeProcessSpec(address="n0", genesis_path="g",
+                            storage_backend="file")  # no storage_dir
+        with pytest.raises(ValueError):
+            NodeProcessSpec(address="n0", genesis_path="g",
+                            time_scale=0.0)
+        with pytest.raises(ValueError):
+            NodeProcessSpec(address="n0", genesis_path="g",
+                            seeds=["n0@localhost"])
+
+
+class TestProcessLifecycle:
+    def test_ready_line_metrics_page_and_clean_exit(self, fleet_sandbox):
+        workload = build_workload(3, transactions=4)
+        run_dir = fleet_sandbox.storage_dir()
+        genesis_path = _write_genesis(workload.genesis, run_dir)
+        with ProcessFleet(run_dir=run_dir) as fleet:
+            ready = fleet.spawn(_spec("n0", genesis_path, metrics_port=0))
+            assert ready["address"] == "n0"
+            assert ready["pid"] == fleet.processes["n0"].pid
+            assert ready["host"] == "127.0.0.1"
+            assert ready["port"] > 0
+            assert ready["metrics_port"] > 0
+            assert ready["restored"] == 0
+            assert ready["storage"] == "none"
+
+            # Its own exporter port serves the node's registry.
+            page = scrape_metrics("127.0.0.1", ready["metrics_port"])
+            assert "# TYPE repro_transport_frames_sent_total counter" \
+                in page
+            assert "repro_discovery_hellos_total" in page
+
+            # Double-spawn of a live address must refuse, not fork.
+            with pytest.raises(FleetProcessError):
+                fleet.spawn(fleet.processes["n0"].spec)
+            with pytest.raises(FleetProcessError):
+                fleet.respawn("n0")
+
+            assert fleet.terminate("n0") == 0
+
+    def test_sigterm_mid_reconnect_leaves_the_journal_clean(
+            self, fleet_sandbox):
+        workload = build_workload(5, transactions=6)
+        run_dir = fleet_sandbox.storage_dir()
+        storage_dir = fleet_sandbox.storage_dir()
+        genesis_path = _write_genesis(workload.genesis, run_dir)
+        # A seed that refuses connections forever: the node's writer
+        # task sits in its reconnect/backoff loop the whole test, so
+        # SIGTERM lands exactly in the state the regression targets.
+        dead_port = fleet_sandbox.ephemeral_port()
+
+        with ProcessFleet(run_dir=run_dir) as fleet:
+            ready = fleet.spawn(_spec(
+                "n0", genesis_path, storage_backend="file",
+                storage_dir=storage_dir,
+                seeds=[f"ghost=127.0.0.1:{dead_port}"]))
+
+            async def drive():
+                controller = _controller(workload, ready, target="n0")
+                await controller.start()
+                try:
+                    await _submit_all(controller,
+                                      len(workload.transactions))
+                    return await controller.status(
+                        "n0", now=workload.credit_now)
+                finally:
+                    await controller.stop()
+
+            status = fleet_sandbox.run(drive())
+            assert status["hashes"] == workload.reference_hashes
+
+            assert fleet.terminate("n0") == 0
+
+        # Reopen the store in-process: NodePersistence verifies the
+        # journal's hash chain on load (a torn tail raises), and the
+        # cold restore must land on the same reference hashes.
+        from repro.storage.persistence import NodePersistence
+        from repro.storage.store import open_store
+        from repro.nodes.full_node import FullNode
+
+        store = open_store("file", storage_dir, node="n0")
+        try:
+            persistence = NodePersistence(store)
+            node = FullNode("n0", workload.genesis,
+                            consensus=_new_consensus(workload.params),
+                            rng=random.Random(0), enforce_pow=True)
+            node.attach_persistence(persistence)
+            restored = node.cold_restore()
+            assert restored == len(workload.transactions)
+            assert node_hashes(node, now=workload.credit_now) == \
+                workload.reference_hashes
+        finally:
+            store.close()
+
+    def test_sigkill_then_cold_restart_catches_up(self, fleet_sandbox):
+        workload = build_workload(9, transactions=8)
+        run_dir = fleet_sandbox.storage_dir()
+        storage_dir = fleet_sandbox.storage_dir()
+        genesis_path = _write_genesis(workload.genesis, run_dir)
+        half = len(workload.transactions) // 2
+
+        with ProcessFleet(run_dir=run_dir) as fleet:
+            spec = _spec("n0", genesis_path, storage_backend="file",
+                         storage_dir=storage_dir)
+            ready = fleet.spawn(spec)
+
+            async def before_crash():
+                controller = _controller(workload, ready, target="n0")
+                await controller.start()
+                try:
+                    await _submit_all(controller, half)
+                finally:
+                    await controller.stop()
+
+            fleet_sandbox.run(before_crash())
+            fleet.kill("n0")  # SIGKILL: no flush, no close
+
+            reborn = fleet.respawn("n0")
+            assert reborn["pid"] != ready["pid"]
+            assert reborn["restored"] == half  # journal replayed
+
+            async def after_restart():
+                controller = _controller(workload, reborn, target="n0")
+                await controller.start()
+                try:
+                    await _submit_all(controller,
+                                      len(workload.transactions),
+                                      start=half)
+                    return await controller.status(
+                        "n0", now=workload.credit_now)
+                finally:
+                    await controller.stop()
+
+            status = fleet_sandbox.run(after_restart())
+            assert status["restored"] == half
+            assert status["hashes"] == workload.reference_hashes
+            assert fleet.terminate("n0") == 0
